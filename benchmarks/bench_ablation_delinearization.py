@@ -1,0 +1,58 @@
+"""Ablation: the delinearization pass vs the Figure-8 Darknet miss.
+
+The paper points to delinearization (Grosser et al., ICS'15) as the fix
+for the missed linearized GEMM; this repository implements it.  The
+ablation shows detection 0/1 without the pass and 1/1 with it, and the
+performance unlocked by the recovered library substitution.
+"""
+
+from repro.evaluation.kernels import FIG8_BENCHMARKS
+from repro.evaluation.pipelines import run_clang
+from repro.execution import AMD_2920X, CostModel
+from repro.met import compile_c
+from repro.tactics import raise_affine_to_linalg
+from repro.transforms import LinalgToBlasPass, delinearize_accesses
+from repro.ir import Context
+
+from .harness import format_table, report
+
+
+def run_ablation():
+    spec = FIG8_BENCHMARKS["darknet"]
+    src = spec.large()
+
+    without = compile_c(src)
+    detected_without = raise_affine_to_linalg(without).total
+
+    with_pass = compile_c(src)
+    for func in with_pass.functions:
+        delinearize_accesses(func)
+    detected_with = raise_affine_to_linalg(with_pass).total
+    LinalgToBlasPass().run(with_pass, Context())
+    model = CostModel(AMD_2920X)
+    raised_gflops = model.cost_function(with_pass.functions[0]).gflops
+    clang_gflops = run_clang(src, AMD_2920X).gflops
+    return detected_without, detected_with, clang_gflops, raised_gflops
+
+
+def test_ablation_delinearization(benchmark):
+    no_pass, with_pass, clang_gf, blas_gf = benchmark.pedantic(
+        run_ablation, rounds=1, iterations=1
+    )
+    report(
+        "ablation_delinearization",
+        format_table(
+            "Ablation — Darknet GEMM detection with/without "
+            "delinearization (paper future work, implemented here)",
+            ["configuration", "callsites (oracle 1)", "GFLOP/s (AMD)"],
+            [
+                ("without delinearization", no_pass, clang_gf),
+                ("with delinearization + MLT-BLAS", with_pass, blas_gf),
+            ],
+        ),
+    )
+    assert no_pass == 0
+    assert with_pass == 1
+    # Darknet's i-k-j loop order already vectorizes well under Clang,
+    # so the library win is ~2x here (vs >10x for the naive order).
+    assert blas_gf > clang_gf * 1.5

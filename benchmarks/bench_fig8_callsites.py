@@ -1,0 +1,44 @@
+"""Figure 8: GEMM callsites detected by Multi-Level Tactics vs Oracle.
+
+Paper result: mm 1/1, 2mm 2/2, 3mm 3/3, darknet 0/1 — the Darknet GEMM
+is missed because its linearized 1-d accesses do not match the 2-d
+array references the GEMM tactic emits.
+"""
+
+from repro.evaluation.kernels import FIG8_BENCHMARKS
+from repro.met import compile_c
+from repro.tactics import raise_affine_to_linalg
+
+from .harness import format_table, report
+
+PAPER_DETECTED = {"mm": 1, "2mm": 2, "3mm": 3, "darknet": 0}
+
+
+def detect_callsites():
+    rows = []
+    for name, spec in FIG8_BENCHMARKS.items():
+        module = compile_c(spec.large())
+        stats = raise_affine_to_linalg(module, raise_fills=False)
+        detected = stats.callsites.get("GEMM", 0)
+        rows.append(
+            (name, detected, spec.oracle_callsites, PAPER_DETECTED[name])
+        )
+    return rows
+
+
+def test_fig8_callsite_detection(benchmark):
+    rows = benchmark.pedantic(detect_callsites, rounds=1, iterations=1)
+    report(
+        "fig8_callsites",
+        format_table(
+            "Figure 8 — GEMM callsites detected vs Oracle",
+            ["benchmark", "detected", "oracle", "paper-detected"],
+            rows,
+        ),
+    )
+    for name, detected, oracle, paper in rows:
+        assert detected == paper, f"{name}: {detected} != paper {paper}"
+        if name != "darknet":
+            assert detected == oracle
+        else:
+            assert detected < oracle  # the documented miss

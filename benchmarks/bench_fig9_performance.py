@@ -1,0 +1,90 @@
+"""Figure 9: single-precision performance of the five configurations on
+both platforms, for the 16 kernels.
+
+Paper's qualitative results this harness reproduces:
+  * the MKL-DNN reference lines: 145.5 GFLOP/s (Intel), 63.6 (AMD);
+  * Clang -O3 lowest on the level-3 kernels;
+  * MLT-BLAS clearly ahead on every level-3 kernel (paper: 2.3x over
+    Pluto-best for gemm up to 294x for ab-cad-dcb on AMD);
+  * level-2 kernels: Pluto as fast or faster than MLT-BLAS, whose
+    library-dispatch overhead (~1.5 ms/call) dominates;
+  * contractions: TTGT gives MLT paths a large edge over loop nests.
+"""
+
+import pytest
+
+from repro.evaluation import PAPER_BENCHMARKS, get_kernel, run_all_pipelines
+from repro.execution import AMD_2920X, INTEL_I9_9900K
+
+from .harness import format_table, report
+
+CONFIGS = ["Clang -O3", "Pluto-default", "Pluto-best", "MLT-Linalg", "MLT-BLAS"]
+MKL_LINE = {"Intel i9-9900K": 145.5, "AMD 2920X": 63.6}
+
+
+def run_machine(machine):
+    rows = []
+    for name in PAPER_BENCHMARKS:
+        results = run_all_pipelines(get_kernel(name).large(), machine, CONFIGS)
+        rows.append((name, *[r.gflops for r in results]))
+    return rows
+
+
+def _geomean(values):
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def _report(machine, rows):
+    geo = ["geomean"] + [
+        _geomean([row[i] for row in rows]) for i in range(1, 6)
+    ]
+    # Derived column the paper quotes in the text: MLT-BLAS / Pluto-best
+    # (paper AMD: 2.3x for gemm up to 294x for ab-cad-dcb; Intel: 3.78x
+    # for gemm up to 66x for ab-acd-dbc).
+    with_speedup = [
+        (*row, row[5] / row[3] if row[3] > 0 else float("inf"))
+        for row in rows
+    ]
+    table = format_table(
+        f"Figure 9 — GFLOP/s on {machine.name} "
+        f"(MKL-DNN reference line: {MKL_LINE[machine.name]})",
+        ["kernel", *CONFIGS, "BLAS/Pl-best"],
+        [*with_speedup, tuple([*geo, ""])],
+    )
+    report(f"fig9_{machine.name.split()[0].lower()}", table)
+    return rows
+
+
+def _check_shapes(rows):
+    by_name = {row[0]: dict(zip(CONFIGS, row[1:])) for row in rows}
+    level3 = ["2mm", "3mm", "gemm", "conv2d-nchw"]
+    for name in level3:
+        r = by_name[name]
+        assert r["MLT-BLAS"] > r["Pluto-best"], name
+        # Clang is the weakest level-3 config (on Intel the tiled
+        # scalar schedules land within ~10% of naive, as in the paper's
+        # low bars, so allow a small tolerance).
+        assert r["Clang -O3"] <= min(
+            r["Pluto-default"], r["MLT-Linalg"], r["MLT-BLAS"]
+        ) * 1.15, name
+        assert r["MLT-BLAS"] > r["Clang -O3"] * 5, name
+    for name in ["atax", "bicg", "gesummv", "mvt"]:
+        r = by_name[name]
+        assert r["Pluto-default"] >= r["MLT-BLAS"] * 0.95, name
+    for name in [k for k in by_name if "-" in k and k != "conv2d-nchw"]:
+        r = by_name[name]
+        assert r["MLT-BLAS"] > r["Pluto-default"] * 5, name
+
+
+@pytest.mark.parametrize(
+    "machine", [INTEL_I9_9900K, AMD_2920X], ids=["intel", "amd"]
+)
+def test_fig9_performance(benchmark, machine):
+    rows = benchmark.pedantic(
+        run_machine, args=(machine,), rounds=1, iterations=1
+    )
+    _report(machine, rows)
+    _check_shapes(rows)

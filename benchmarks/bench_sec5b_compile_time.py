@@ -1,0 +1,78 @@
+"""§V-B compile-time overhead: lowering the 16 benchmarks from Affine
+to the LLVM dialect with and without Multi-Level Tactics raising.
+
+Paper result: 0.64 s plain vs 0.72 s with raising = +12%.  The claim
+being reproduced is that the raising step adds only a modest fraction
+of the total compilation time (pattern matching has negligible cost
+compared to constraint-solver approaches like IDL, which the related
+work reports at +82%).
+"""
+
+import time
+
+from repro.evaluation import PAPER_BENCHMARKS, get_kernel
+from repro.met import compile_c
+from repro.tactics import raise_affine_to_linalg
+from repro.tactics.raising import default_linalg_tactics
+from repro.transforms import lower_to_llvm
+
+from .harness import format_table, report
+
+KERNELS = sorted(PAPER_BENCHMARKS)
+
+
+def _sources():
+    return {name: get_kernel(name).small() for name in KERNELS}
+
+
+def measure():
+    default_linalg_tactics()  # build the tactics library up front
+    sources = _sources()
+
+    def lower_only():
+        for name in KERNELS:
+            lower_to_llvm(compile_c(sources[name]))
+
+    def raise_and_lower():
+        for name in KERNELS:
+            module = compile_c(sources[name])
+            raise_affine_to_linalg(module)
+            lower_to_llvm(module)
+
+    lower_only()
+    raise_and_lower()
+    base = min(
+        _timed(lower_only) for _ in range(3)
+    )
+    raised = min(
+        _timed(raise_and_lower) for _ in range(3)
+    )
+    return base, raised
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_sec5b_compile_time(benchmark):
+    base, raised = benchmark.pedantic(measure, rounds=1, iterations=1)
+    overhead = (raised - base) / base * 100
+    report(
+        "sec5b_compile_time",
+        format_table(
+            "Section V-B — compile time for the 16 benchmarks, "
+            "Affine -> MLIR LLVM (paper: 0.64 s vs 0.72 s, +12%)",
+            ["pipeline", "seconds (measured)", "seconds (paper)"],
+            [
+                ("progressive lowering only", base, 0.64),
+                ("MLT raising + lowering", raised, 0.72),
+                ("overhead %", overhead, 12.0),
+            ],
+        ),
+    )
+    # The paper measures +12% with compiled C++ matchers; the Python
+    # matchers cost relatively more against this repo's fast lowering,
+    # but raising must stay within the same order of magnitude.
+    assert overhead < 300.0

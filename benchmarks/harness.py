@@ -1,0 +1,45 @@
+"""Shared reporting utilities for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper and
+reports rows in the same layout, writing a copy under
+``benchmarks/results/`` so the numbers survive the pytest run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence]
+) -> str:
+    widths = [len(h) for h in headers]
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, ""]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def report(name: str, text: str) -> str:
+    """Print and persist one benchmark report."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print("\n" + text + "\n")
+    return path

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Progressive raising in action (§V-C): matrix-chain reordering.
+
+The optimization is only expressible *above* the loop level: raise the
+C loop nests to Linalg first, then the chain of ``linalg.matmul`` ops
+becomes visible and the CLRS dynamic program can re-parenthesize it.
+
+Run:  python examples/matrix_chain_reordering.py
+"""
+
+import numpy as np
+
+from repro.evaluation.kernels import matrix_chain_source
+from repro.execution import AMD_2920X, CostModel, Interpreter
+from repro.ir import print_module
+from repro.met import compile_c
+from repro.tactics import raise_affine_to_linalg, reorder_matrix_chains
+from repro.tactics.chain import (
+    chain_multiplications,
+    left_associative_tree,
+    optimal_parenthesization,
+    parenthesization_str,
+)
+
+# Table II, first row: A1(800x1100) A2(1100x900) A3(900x1200) A4(1200x100)
+DIMS = [800, 1100, 900, 1200, 100]
+
+
+def main():
+    n = len(DIMS) - 1
+    cost_op, tree = optimal_parenthesization(DIMS)
+    cost_ip = chain_multiplications(DIMS, left_associative_tree(n))
+    print(f"chain dims: {DIMS}")
+    print(
+        f"initial {parenthesization_str(left_associative_tree(n))}: "
+        f"{cost_ip / 1e9:.3f}e9 multiplications"
+    )
+    print(
+        f"optimal {parenthesization_str(tree)}: "
+        f"{cost_op / 1e9:.3f}e9 multiplications"
+    )
+
+    src = matrix_chain_source(DIMS)
+    module = compile_c(src)
+    raise_affine_to_linalg(module)
+
+    model = CostModel(AMD_2920X)
+    time_before = model.cost_function(module.functions[0]).seconds
+    num = reorder_matrix_chains(module)
+    time_after = model.cost_function(module.functions[0]).seconds
+    print(f"\nreordered {num} chain(s)")
+    print("=== optimized Linalg IR ===")
+    print(print_module(module))
+    print(
+        f"AMD model: {time_before:.3f} s -> {time_after:.3f} s "
+        f"({time_before / time_after:.2f}x; paper Table II row 1: "
+        "1.289 s -> 0.212 s, 6.08x)"
+    )
+
+    # Execute a scaled-down version of the same chain to double-check
+    # the rewrite numerically.
+    small = [d // 100 for d in DIMS]
+    ref = compile_c(matrix_chain_source(small))
+    opt = compile_c(matrix_chain_source(small))
+    raise_affine_to_linalg(opt)
+    reorder_matrix_chains(opt)
+    rng = np.random.default_rng(0)
+    mats = [
+        rng.random((small[i], small[i + 1]), dtype=np.float32)
+        for i in range(n)
+    ]
+    r1 = np.zeros((small[0], small[-1]), np.float32)
+    r2 = np.zeros((small[0], small[-1]), np.float32)
+    Interpreter(ref).run("chain", *mats, r1)
+    Interpreter(opt).run("chain", *[m.copy() for m in mats], r2)
+    print(f"max numeric error after reordering: {np.abs(r1 - r2).max():.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: progressive raising from C to Linalg in five steps.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.execution import Interpreter
+from repro.ir import print_module
+from repro.met import compile_c
+from repro.tactics import raise_affine_to_linalg
+
+C_SOURCE = """
+void gemm(float A[64][96], float B[96][48], float C[64][48]) {
+  for (int i = 0; i < 64; i++)
+    for (int j = 0; j < 48; j++) {
+      C[i][j] = 0.0f;
+      for (int k = 0; k < 96; k++)
+        C[i][j] += A[i][k] * B[k][j];
+    }
+}
+"""
+
+
+def main():
+    # 1. Enter the multi-level IR pipeline at the Affine level via MET.
+    #    (Loop distribution isolates the init store from the reduction.)
+    module = compile_c(C_SOURCE)
+    print("=== Affine level (MET output) ===")
+    print(print_module(module))
+
+    # 2. Keep an unmodified copy for the semantics check.
+    reference = compile_c(C_SOURCE)
+
+    # 3. Raise: loop nests -> linalg.fill + linalg.matmul.
+    stats = raise_affine_to_linalg(module)
+    print(f"=== Raised to Linalg ({stats.callsites}) ===")
+    print(print_module(module))
+
+    # 4. Execute both versions with the numpy-backed interpreter.
+    rng = np.random.default_rng(0)
+    a = rng.random((64, 96), dtype=np.float32)
+    b = rng.random((96, 48), dtype=np.float32)
+    c_ref = np.zeros((64, 48), dtype=np.float32)
+    c_raised = np.zeros((64, 48), dtype=np.float32)
+    Interpreter(reference).run("gemm", a, b, c_ref)
+    Interpreter(module).run("gemm", a, b, c_raised)
+
+    # 5. Raising is semantics-preserving.
+    max_err = np.abs(c_ref - c_raised).max()
+    print(f"max |reference - raised| = {max_err:.2e}")
+    assert max_err < 1e-3
+    print("OK: raising preserved the program's semantics.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Progressive Raising in Multi-level IR - Multi-Level Tactics.
+
+A from-scratch Python reproduction of *Progressive Raising in
+Multi-level IR* (Chelini, Drebes, Zinenko, Cohen, Vasilache, Grosser,
+Corporaal - CGO 2021): a multi-level IR with progressive lowering *and*
+declarative progressive raising from affine loop nests to linear-algebra
+abstractions.
+
+High-level entry points::
+
+    from repro import met, tactics, transforms
+    module = met.compile_c(source)                    # C -> Affine
+    tactics.raise_affine_to_linalg(module)            # Affine -> Linalg
+    transforms.lower_to_llvm(module)                  # Linalg -> ... -> LLVM
+"""
+
+__version__ = "1.0.0"
+
+from . import ir  # noqa: F401
+from . import dialects  # noqa: F401

@@ -1,0 +1,9 @@
+"""IR analyses shared by transforms, matchers, and the cost model."""
+
+from .accesses import (  # noqa: F401
+    AccessFunction,
+    MemoryAccess,
+    access_function,
+    collect_accesses,
+    enclosing_loops,
+)

@@ -1,0 +1,42 @@
+"""Dialects of the multi-level IR stack.
+
+Importing this package registers every dialect's operations with the
+global op registry.  The abstraction ladder, from high to low:
+
+    linalg / blas  >  affine  >  scf  >  std  >  llvm
+"""
+
+from typing import List
+
+from ..ir.context import Dialect
+
+from . import std  # noqa: F401  (registration side effects)
+from . import affine  # noqa: F401
+from . import scf  # noqa: F401
+from . import linalg  # noqa: F401
+from . import blas  # noqa: F401
+from . import llvm  # noqa: F401
+
+#: Height of each dialect on the abstraction ladder (Figure 1/2 of the
+#: paper).  Raising moves code to a higher number, lowering to a lower one.
+ABSTRACTION_LEVEL = {
+    "llvm": 0,
+    "std": 1,
+    "scf": 2,
+    "affine": 3,
+    "linalg": 4,
+    "blas": 4,
+    "func": 5,
+    "builtin": 6,
+}
+
+
+def all_dialects() -> List[Dialect]:
+    return [
+        Dialect("std", "miscellaneous standard operations"),
+        Dialect("affine", "polyhedral loop and memory abstraction"),
+        Dialect("scf", "structured control flow"),
+        Dialect("linalg", "linear algebra on buffers"),
+        Dialect("blas", "vendor-optimized library calls"),
+        Dialect("llvm", "low-level CFG representation"),
+    ]

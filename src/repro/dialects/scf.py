@@ -1,0 +1,97 @@
+"""The ``scf`` dialect: structured control flow with SSA-value bounds.
+
+``scf.for`` is the non-affine counterpart of ``affine.for``: bounds and
+step are ordinary index values, so no polyhedral analysis applies.  The
+paper notes Multi-Level Tactics can also lift from SCF (footnote 1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..ir.core import Block, IRError, Operation, register_op
+from ..ir.types import IndexType
+from ..ir.values import BlockArgument, Value
+
+
+@register_op
+class YieldOp(Operation):
+    OP_NAME = "scf.yield"
+    IS_TERMINATOR = True
+
+    @staticmethod
+    def create(values: Sequence[Value] = ()) -> "YieldOp":
+        return YieldOp(operands=values)
+
+
+@register_op
+class ForOp(Operation):
+    """``scf.for %iv = %lb to %ub step %step { ... }``."""
+
+    OP_NAME = "scf.for"
+
+    @staticmethod
+    def create(lb: Value, ub: Value, step: Value) -> "ForOp":
+        op = ForOp(operands=[lb, ub, step], num_regions=1)
+        body = op.regions[0].add_block(Block([IndexType()]))
+        body.append(YieldOp.create())
+        return op
+
+    @property
+    def lower_bound(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def upper_bound(self) -> Value:
+        return self.operand(1)
+
+    @property
+    def step(self) -> Value:
+        return self.operand(2)
+
+    @property
+    def induction_var(self) -> BlockArgument:
+        return self.body.arguments[0]
+
+    def ops_in_body(self) -> List[Operation]:
+        return self.body.ops_without_terminator()
+
+    def verify_(self) -> None:
+        if self.num_operands != 3:
+            raise IRError("scf.for expects (lb, ub, step) operands")
+        for operand in self.operands:
+            if not isinstance(operand.type, IndexType):
+                raise IRError("scf.for bounds must have index type")
+        if not isinstance(self.body.terminator, YieldOp):
+            raise IRError("scf.for body must end with scf.yield")
+
+
+@register_op
+class IfOp(Operation):
+    """``scf.if %cond { ... } else { ... }`` (no results)."""
+
+    OP_NAME = "scf.if"
+
+    @staticmethod
+    def create(cond: Value, with_else: bool = False) -> "IfOp":
+        op = IfOp(operands=[cond], num_regions=2 if with_else else 1)
+        then = op.regions[0].add_block()
+        then.append(YieldOp.create())
+        if with_else:
+            els = op.regions[1].add_block()
+            els.append(YieldOp.create())
+        return op
+
+    @property
+    def condition(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def then_block(self) -> Block:
+        return self.regions[0].entry_block
+
+    @property
+    def else_block(self) -> Block:
+        if len(self.regions) < 2:
+            raise IRError("scf.if has no else region")
+        return self.regions[1].entry_block

@@ -1,0 +1,19 @@
+"""Benchmark corpus and evaluation pipelines for the paper's studies."""
+
+from .kernels import (  # noqa: F401
+    CONTRACTION_SIZES,
+    KernelSpec,
+    LEVEL2_KERNELS,
+    LEVEL3_KERNELS,
+    PAPER_BENCHMARKS,
+    get_kernel,
+)
+from .pipelines import (  # noqa: F401
+    PipelineResult,
+    run_clang,
+    run_mlt_blas,
+    run_mlt_linalg,
+    run_pluto_best,
+    run_pluto_default,
+    run_all_pipelines,
+)

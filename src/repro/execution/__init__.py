@@ -1,0 +1,12 @@
+"""Execution substrate: a numpy-backed interpreter (for semantics) and
+an analytical machine/cost model (for the paper's performance studies).
+"""
+
+from .interpreter import InterpreterError, Interpreter, run_function  # noqa: F401
+from .machines import AMD_2920X, INTEL_I9_9900K, Machine  # noqa: F401
+from .cost_model import (  # noqa: F401
+    CostModel,
+    CostReport,
+    estimate_gflops,
+    estimate_seconds,
+)

@@ -1,0 +1,422 @@
+"""Affine expression algebra.
+
+Affine expressions are built over dimension identifiers (``d0``, ``d1``,
+...), symbol identifiers (``s0``, ...), and integer constants, combined
+with ``+``, ``*`` (by constants), ``mod``, ``floordiv`` and ``ceildiv``.
+Construction performs light canonicalization (constant folding, identity
+elimination, moving constants to the right of ``+``/``*``).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Optional, Sequence, Tuple
+
+
+class AffineExprKind(Enum):
+    CONSTANT = "constant"
+    DIM = "dim"
+    SYMBOL = "symbol"
+    ADD = "+"
+    MUL = "*"
+    MOD = "mod"
+    FLOORDIV = "floordiv"
+    CEILDIV = "ceildiv"
+
+
+_BINARY_KINDS = {
+    AffineExprKind.ADD,
+    AffineExprKind.MUL,
+    AffineExprKind.MOD,
+    AffineExprKind.FLOORDIV,
+    AffineExprKind.CEILDIV,
+}
+
+
+class AffineExpr:
+    """Base class; use the module-level constructors or operators."""
+
+    kind: AffineExprKind
+
+    # -- operator sugar -------------------------------------------------
+
+    def __add__(self, other) -> "AffineExpr":
+        return _make_add(self, _coerce(other))
+
+    def __radd__(self, other) -> "AffineExpr":
+        return _make_add(_coerce(other), self)
+
+    def __sub__(self, other) -> "AffineExpr":
+        return _make_add(self, _make_mul(_coerce(other), AffineConstantExpr(-1)))
+
+    def __rsub__(self, other) -> "AffineExpr":
+        return _coerce(other) - self
+
+    def __mul__(self, other) -> "AffineExpr":
+        return _make_mul(self, _coerce(other))
+
+    def __rmul__(self, other) -> "AffineExpr":
+        return _make_mul(_coerce(other), self)
+
+    def __neg__(self) -> "AffineExpr":
+        return self * -1
+
+    def __mod__(self, other) -> "AffineExpr":
+        return _make_binary(AffineExprKind.MOD, self, _coerce(other))
+
+    def floordiv(self, other) -> "AffineExpr":
+        return _make_binary(AffineExprKind.FLOORDIV, self, _coerce(other))
+
+    def ceildiv(self, other) -> "AffineExpr":
+        return _make_binary(AffineExprKind.CEILDIV, self, _coerce(other))
+
+    # -- structural equality --------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AffineExpr) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return str(self)
+
+    # -- queries ---------------------------------------------------------
+
+    def evaluate(self, dims: Sequence[int], symbols: Sequence[int] = ()) -> int:
+        raise NotImplementedError
+
+    def is_constant(self) -> bool:
+        return self.kind is AffineExprKind.CONSTANT
+
+    def is_pure_affine(self) -> bool:
+        """True if the expression is linear in dims/symbols (no mod/div
+        by non-constants, and multiplication only by constants)."""
+        return self.as_linear() is not None
+
+    def as_linear(self) -> Optional["LinearForm"]:
+        """Decompose into ``sum(coeff_i * d_i) + sum(coeff_j * s_j) + c``.
+
+        Returns ``None`` if the expression contains mod/floordiv/ceildiv
+        or non-constant multiplication.
+        """
+        try:
+            return self._linear()
+        except _NotLinear:
+            return None
+
+    def _linear(self) -> "LinearForm":
+        raise NotImplementedError
+
+    def dims_used(self) -> set:
+        """Positions of dimensions occurring in this expression."""
+        out: set = set()
+        self._collect_dims(out)
+        return out
+
+    def _collect_dims(self, out: set) -> None:
+        raise NotImplementedError
+
+    def substitute_dims(self, mapping: Dict[int, "AffineExpr"]) -> "AffineExpr":
+        """Replace dim positions per ``mapping`` (missing dims unchanged)."""
+        raise NotImplementedError
+
+    def shift_dims(self, offset: int) -> "AffineExpr":
+        """Renumber every dim ``d_i`` to ``d_{i+offset}``."""
+        raise NotImplementedError
+
+
+class _NotLinear(Exception):
+    pass
+
+
+class LinearForm:
+    """A linear affine expression: dim/symbol coefficients + constant."""
+
+    __slots__ = ("dim_coeffs", "symbol_coeffs", "constant")
+
+    def __init__(
+        self,
+        dim_coeffs: Optional[Dict[int, int]] = None,
+        symbol_coeffs: Optional[Dict[int, int]] = None,
+        constant: int = 0,
+    ):
+        self.dim_coeffs = {p: c for p, c in (dim_coeffs or {}).items() if c != 0}
+        self.symbol_coeffs = {
+            p: c for p, c in (symbol_coeffs or {}).items() if c != 0
+        }
+        self.constant = constant
+
+    def __add__(self, other: "LinearForm") -> "LinearForm":
+        dims = dict(self.dim_coeffs)
+        for p, c in other.dim_coeffs.items():
+            dims[p] = dims.get(p, 0) + c
+        syms = dict(self.symbol_coeffs)
+        for p, c in other.symbol_coeffs.items():
+            syms[p] = syms.get(p, 0) + c
+        return LinearForm(dims, syms, self.constant + other.constant)
+
+    def scale(self, factor: int) -> "LinearForm":
+        return LinearForm(
+            {p: c * factor for p, c in self.dim_coeffs.items()},
+            {p: c * factor for p, c in self.symbol_coeffs.items()},
+            self.constant * factor,
+        )
+
+    def is_constant(self) -> bool:
+        return not self.dim_coeffs and not self.symbol_coeffs
+
+    def single_dim(self) -> Optional[Tuple[int, int, int]]:
+        """If of the form ``k * d_p + c``, return ``(p, k, c)``."""
+        if self.symbol_coeffs or len(self.dim_coeffs) != 1:
+            return None
+        ((pos, coeff),) = self.dim_coeffs.items()
+        return (pos, coeff, self.constant)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, LinearForm)
+            and self.dim_coeffs == other.dim_coeffs
+            and self.symbol_coeffs == other.symbol_coeffs
+            and self.constant == other.constant
+        )
+
+    def __repr__(self) -> str:
+        terms = [f"{c}*d{p}" for p, c in sorted(self.dim_coeffs.items())]
+        terms += [f"{c}*s{p}" for p, c in sorted(self.symbol_coeffs.items())]
+        terms.append(str(self.constant))
+        return " + ".join(terms)
+
+
+class AffineConstantExpr(AffineExpr):
+    kind = AffineExprKind.CONSTANT
+
+    def __init__(self, value: int):
+        self.value = int(value)
+
+    def _key(self) -> tuple:
+        return (self.kind, self.value)
+
+    def evaluate(self, dims, symbols=()) -> int:
+        return self.value
+
+    def _linear(self) -> LinearForm:
+        return LinearForm(constant=self.value)
+
+    def _collect_dims(self, out: set) -> None:
+        pass
+
+    def substitute_dims(self, mapping) -> AffineExpr:
+        return self
+
+    def shift_dims(self, offset: int) -> AffineExpr:
+        return self
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+class AffineDimExpr(AffineExpr):
+    kind = AffineExprKind.DIM
+
+    def __init__(self, position: int):
+        if position < 0:
+            raise ValueError("dim position must be non-negative")
+        self.position = position
+
+    def _key(self) -> tuple:
+        return (self.kind, self.position)
+
+    def evaluate(self, dims, symbols=()) -> int:
+        return dims[self.position]
+
+    def _linear(self) -> LinearForm:
+        return LinearForm(dim_coeffs={self.position: 1})
+
+    def _collect_dims(self, out: set) -> None:
+        out.add(self.position)
+
+    def substitute_dims(self, mapping) -> AffineExpr:
+        return mapping.get(self.position, self)
+
+    def shift_dims(self, offset: int) -> AffineExpr:
+        return AffineDimExpr(self.position + offset)
+
+    def __str__(self) -> str:
+        return f"d{self.position}"
+
+
+class AffineSymbolExpr(AffineExpr):
+    kind = AffineExprKind.SYMBOL
+
+    def __init__(self, position: int):
+        if position < 0:
+            raise ValueError("symbol position must be non-negative")
+        self.position = position
+
+    def _key(self) -> tuple:
+        return (self.kind, self.position)
+
+    def evaluate(self, dims, symbols=()) -> int:
+        return symbols[self.position]
+
+    def _linear(self) -> LinearForm:
+        return LinearForm(symbol_coeffs={self.position: 1})
+
+    def _collect_dims(self, out: set) -> None:
+        pass
+
+    def substitute_dims(self, mapping) -> AffineExpr:
+        return self
+
+    def shift_dims(self, offset: int) -> AffineExpr:
+        return self
+
+    def __str__(self) -> str:
+        return f"s{self.position}"
+
+
+class AffineBinaryExpr(AffineExpr):
+    def __init__(self, kind: AffineExprKind, lhs: AffineExpr, rhs: AffineExpr):
+        if kind not in _BINARY_KINDS:
+            raise ValueError(f"not a binary affine kind: {kind}")
+        self.kind = kind
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def _key(self) -> tuple:
+        return (self.kind, self.lhs._key(), self.rhs._key())
+
+    def evaluate(self, dims, symbols=()) -> int:
+        left = self.lhs.evaluate(dims, symbols)
+        right = self.rhs.evaluate(dims, symbols)
+        if self.kind is AffineExprKind.ADD:
+            return left + right
+        if self.kind is AffineExprKind.MUL:
+            return left * right
+        if self.kind is AffineExprKind.MOD:
+            if right <= 0:
+                raise ZeroDivisionError("affine mod by non-positive value")
+            return left % right
+        if self.kind is AffineExprKind.FLOORDIV:
+            if right <= 0:
+                raise ZeroDivisionError("affine floordiv by non-positive value")
+            return left // right
+        if right <= 0:
+            raise ZeroDivisionError("affine ceildiv by non-positive value")
+        return -((-left) // right)
+
+    def _linear(self) -> LinearForm:
+        if self.kind is AffineExprKind.ADD:
+            return self.lhs._linear() + self.rhs._linear()
+        if self.kind is AffineExprKind.MUL:
+            left = self.lhs._linear()
+            right = self.rhs._linear()
+            if right.is_constant():
+                return left.scale(right.constant)
+            if left.is_constant():
+                return right.scale(left.constant)
+            raise _NotLinear()
+        raise _NotLinear()
+
+    def _collect_dims(self, out: set) -> None:
+        self.lhs._collect_dims(out)
+        self.rhs._collect_dims(out)
+
+    def substitute_dims(self, mapping) -> AffineExpr:
+        return _make_binary(
+            self.kind,
+            self.lhs.substitute_dims(mapping),
+            self.rhs.substitute_dims(mapping),
+        )
+
+    def shift_dims(self, offset: int) -> AffineExpr:
+        return _make_binary(
+            self.kind, self.lhs.shift_dims(offset), self.rhs.shift_dims(offset)
+        )
+
+    def __str__(self) -> str:
+        op = {
+            AffineExprKind.ADD: "+",
+            AffineExprKind.MUL: "*",
+            AffineExprKind.MOD: "mod",
+            AffineExprKind.FLOORDIV: "floordiv",
+            AffineExprKind.CEILDIV: "ceildiv",
+        }[self.kind]
+        return f"({self.lhs} {op} {self.rhs})"
+
+
+# ----------------------------------------------------------------------
+# Smart constructors with canonicalization
+# ----------------------------------------------------------------------
+
+
+def _coerce(value) -> AffineExpr:
+    if isinstance(value, AffineExpr):
+        return value
+    if isinstance(value, int):
+        return AffineConstantExpr(value)
+    raise TypeError(f"cannot use {value!r} in an affine expression")
+
+
+def _make_add(lhs: AffineExpr, rhs: AffineExpr) -> AffineExpr:
+    if isinstance(lhs, AffineConstantExpr) and isinstance(rhs, AffineConstantExpr):
+        return AffineConstantExpr(lhs.value + rhs.value)
+    if isinstance(lhs, AffineConstantExpr):
+        lhs, rhs = rhs, lhs  # constants to the right
+    if isinstance(rhs, AffineConstantExpr) and rhs.value == 0:
+        return lhs
+    return AffineBinaryExpr(AffineExprKind.ADD, lhs, rhs)
+
+
+def _make_mul(lhs: AffineExpr, rhs: AffineExpr) -> AffineExpr:
+    if isinstance(lhs, AffineConstantExpr) and isinstance(rhs, AffineConstantExpr):
+        return AffineConstantExpr(lhs.value * rhs.value)
+    if isinstance(lhs, AffineConstantExpr):
+        lhs, rhs = rhs, lhs
+    if isinstance(rhs, AffineConstantExpr):
+        if rhs.value == 0:
+            return AffineConstantExpr(0)
+        if rhs.value == 1:
+            return lhs
+    return AffineBinaryExpr(AffineExprKind.MUL, lhs, rhs)
+
+
+def _make_binary(kind: AffineExprKind, lhs: AffineExpr, rhs: AffineExpr) -> AffineExpr:
+    if kind is AffineExprKind.ADD:
+        return _make_add(lhs, rhs)
+    if kind is AffineExprKind.MUL:
+        return _make_mul(lhs, rhs)
+    if isinstance(lhs, AffineConstantExpr) and isinstance(rhs, AffineConstantExpr):
+        return AffineConstantExpr(
+            AffineBinaryExpr(kind, lhs, rhs).evaluate((), ())
+        )
+    if kind in (AffineExprKind.FLOORDIV, AffineExprKind.CEILDIV):
+        if isinstance(rhs, AffineConstantExpr) and rhs.value == 1:
+            return lhs
+    return AffineBinaryExpr(kind, lhs, rhs)
+
+
+def dim(position: int) -> AffineDimExpr:
+    return AffineDimExpr(position)
+
+
+def symbol(position: int) -> AffineSymbolExpr:
+    return AffineSymbolExpr(position)
+
+
+def constant(value: int) -> AffineConstantExpr:
+    return AffineConstantExpr(value)
+
+
+def from_linear_form(form: LinearForm) -> AffineExpr:
+    """Rebuild a canonical expression from a linear decomposition."""
+    expr: AffineExpr = AffineConstantExpr(form.constant)
+    for pos in sorted(form.dim_coeffs):
+        expr = dim(pos) * form.dim_coeffs[pos] + expr
+    for pos in sorted(form.symbol_coeffs):
+        expr = symbol(pos) * form.symbol_coeffs[pos] + expr
+    return expr

@@ -1,0 +1,142 @@
+"""Built-in structural operations: module, func, return, call."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .attributes import StringAttr, SymbolRefAttr, TypeAttr
+from .core import Block, IRError, Operation, register_op
+from .types import FunctionType, Type
+from .values import BlockArgument, Value
+
+
+@register_op
+class ModuleOp(Operation):
+    """Top-level container holding a single block of functions."""
+
+    OP_NAME = "builtin.module"
+
+    @staticmethod
+    def create(name: str = "") -> "ModuleOp":
+        op = ModuleOp(num_regions=1)
+        op.regions[0].add_block()
+        if name:
+            op.attributes["sym_name"] = StringAttr(name)
+        return op
+
+    @property
+    def functions(self) -> List["FuncOp"]:
+        return [op for op in self.body.operations if isinstance(op, FuncOp)]
+
+    def lookup(self, symbol_name: str) -> Optional["FuncOp"]:
+        for func in self.functions:
+            if func.sym_name == symbol_name:
+                return func
+        return None
+
+    def append_function(self, func: "FuncOp") -> "FuncOp":
+        self.body.append(func)
+        return func
+
+    def verify_(self) -> None:
+        if len(self.regions) != 1 or len(self.regions[0].blocks) != 1:
+            raise IRError("builtin.module must have exactly one block")
+        seen = set()
+        for func in self.functions:
+            if func.sym_name in seen:
+                raise IRError(f"duplicate symbol @{func.sym_name}")
+            seen.add(func.sym_name)
+
+    def __str__(self) -> str:
+        from .printer import print_module
+
+        return print_module(self)
+
+
+@register_op
+class FuncOp(Operation):
+    """A named function with a single-block body."""
+
+    OP_NAME = "func.func"
+
+    @staticmethod
+    def create(
+        name: str,
+        arg_types: Sequence[Type],
+        result_types: Sequence[Type] = (),
+    ) -> "FuncOp":
+        func = FuncOp(
+            attributes={
+                "sym_name": StringAttr(name),
+                "function_type": TypeAttr(FunctionType(arg_types, result_types)),
+            },
+            num_regions=1,
+        )
+        func.regions[0].add_block(Block(arg_types))
+        return func
+
+    @property
+    def sym_name(self) -> str:
+        return self.attributes["sym_name"].value
+
+    @property
+    def function_type(self) -> FunctionType:
+        return self.attributes["function_type"].value
+
+    @property
+    def entry_block(self) -> Block:
+        return self.regions[0].entry_block
+
+    @property
+    def arguments(self) -> List[BlockArgument]:
+        return list(self.entry_block.arguments)
+
+    def verify_(self) -> None:
+        if "sym_name" not in self.attributes:
+            raise IRError("func.func requires a sym_name")
+        block = self.entry_block
+        arg_types = tuple(a.type for a in block.arguments)
+        if arg_types != self.function_type.inputs:
+            raise IRError(
+                f"@{self.sym_name}: entry block arguments {arg_types} do not "
+                f"match function type {self.function_type.inputs}"
+            )
+        term = block.terminator
+        if term is None:
+            raise IRError(f"@{self.sym_name}: missing terminator")
+
+    def __str__(self) -> str:
+        from .printer import print_module
+
+        return print_module(self)
+
+
+@register_op
+class ReturnOp(Operation):
+    OP_NAME = "func.return"
+    IS_TERMINATOR = True
+
+    @staticmethod
+    def create(values: Sequence[Value] = ()) -> "ReturnOp":
+        return ReturnOp(operands=values)
+
+
+@register_op
+class CallOp(Operation):
+    """Direct call to a named function."""
+
+    OP_NAME = "func.call"
+
+    @staticmethod
+    def create(
+        callee: str, operands: Sequence[Value], result_types: Sequence[Type] = ()
+    ) -> "CallOp":
+        return CallOp(
+            operands=operands,
+            result_types=result_types,
+            attributes={"callee": SymbolRefAttr(callee)},
+        )
+
+    @property
+    def callee(self) -> str:
+        return self.attributes["callee"].name

@@ -1,0 +1,106 @@
+"""Pass infrastructure with per-pass timing.
+
+Timing matters here: §V-B of the paper reports the compile-time overhead
+of raising (+12% over the plain lowering pipeline), which
+``benchmarks/bench_sec5b_compile_time.py`` re-measures through this
+module's instrumentation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .builtin import ModuleOp
+from .context import Context
+from .verifier import verify
+
+
+class Pass:
+    """A module-level transformation."""
+
+    #: Short pipeline name, e.g. "raise-affine-to-linalg".
+    name = "unnamed-pass"
+
+    def run(self, module: ModuleOp, context: Context) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<Pass {self.name}>"
+
+
+class FunctionPass(Pass):
+    """Convenience base running once per function in the module."""
+
+    def run(self, module: ModuleOp, context: Context) -> None:
+        for func in module.functions:
+            self.run_on_function(func, context)
+
+    def run_on_function(self, func, context: Context) -> None:
+        raise NotImplementedError
+
+
+class LambdaPass(Pass):
+    """Wraps a plain callable as a pass."""
+
+    def __init__(self, name: str, fn: Callable[[ModuleOp, Context], None]):
+        self.name = name
+        self._fn = fn
+
+    def run(self, module: ModuleOp, context: Context) -> None:
+        self._fn(module, context)
+
+
+class PassTiming:
+    def __init__(self):
+        self.seconds: Dict[str, float] = {}
+        self.order: List[str] = []
+
+    def record(self, name: str, elapsed: float) -> None:
+        if name not in self.seconds:
+            self.order.append(name)
+            self.seconds[name] = 0.0
+        self.seconds[name] += elapsed
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def report(self) -> str:
+        lines = ["===- Pass execution timing -==="]
+        for name in self.order:
+            lines.append(f"  {self.seconds[name] * 1e3:9.3f} ms  {name}")
+        lines.append(f"  {self.total * 1e3:9.3f} ms  TOTAL")
+        return "\n".join(lines)
+
+
+class PassManager:
+    """Runs a linear pipeline of passes over a module."""
+
+    def __init__(
+        self,
+        context: Optional[Context] = None,
+        verify_each: bool = True,
+    ):
+        self.context = context or Context()
+        self.passes: List[Pass] = []
+        self.verify_each = verify_each
+        self.timing = PassTiming()
+
+    def add(self, *passes: Pass) -> "PassManager":
+        self.passes.extend(passes)
+        return self
+
+    def run(self, module: ModuleOp) -> PassTiming:
+        if self.verify_each:
+            verify(module, self.context)
+        for pass_ in self.passes:
+            start = time.perf_counter()
+            pass_.run(module, self.context)
+            self.timing.record(pass_.name, time.perf_counter() - start)
+            if self.verify_each:
+                verify(module, self.context)
+        return self.timing
+
+    def pipeline_string(self) -> str:
+        return ",".join(p.name for p in self.passes)

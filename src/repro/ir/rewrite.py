@@ -1,0 +1,125 @@
+"""Pattern rewriting infrastructure.
+
+Raisings and lowerings are expressed as :class:`RewritePattern`
+subclasses and applied by the greedy driver until a fixpoint — the same
+machinery MLIR uses for progressive lowering, here reused in the
+opposite, raising direction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .builder import Builder, InsertionPoint
+from .core import IRError, Operation
+from .values import Value
+
+
+class PatternRewriter(Builder):
+    """Builder handed to patterns; records structural notifications."""
+
+    def __init__(self):
+        super().__init__()
+        self.erased: List[Operation] = []
+        self.created: List[Operation] = []
+
+    def insert(self, op: Operation) -> Operation:
+        self.created.append(op)
+        return super().insert(op)
+
+    def erase_op(self, op: Operation) -> None:
+        op.erase()
+        self.erased.append(op)
+
+    def replace_op(self, op: Operation, new_values: Sequence[Value]) -> None:
+        op.replace_all_uses_with(list(new_values))
+        self.erase_op(op)
+
+    def replace_op_with_new(
+        self, op: Operation, new_op: Operation
+    ) -> Operation:
+        """Insert ``new_op`` before ``op``, transfer uses, erase ``op``."""
+        self.set_insertion_point_before(op)
+        self.insert(new_op)
+        self.replace_op(op, new_op.results)
+        return new_op
+
+
+class RewritePattern:
+    """A single rewrite; higher benefit patterns are tried first."""
+
+    benefit: int = 1
+    #: Optionally restrict to one op name for faster dispatch.
+    root_op_name: Optional[str] = None
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        raise NotImplementedError
+
+    @property
+    def pattern_name(self) -> str:
+        return type(self).__name__
+
+
+class RewriteResult:
+    def __init__(self):
+        self.num_rewrites = 0
+        self.iterations = 0
+        self.pattern_hits: dict = {}
+
+    def record(self, pattern: RewritePattern) -> None:
+        self.num_rewrites += 1
+        name = pattern.pattern_name
+        self.pattern_hits[name] = self.pattern_hits.get(name, 0) + 1
+
+    @property
+    def changed(self) -> bool:
+        return self.num_rewrites > 0
+
+
+def _is_attached(op: Operation, root: Operation) -> bool:
+    """True when ``op`` is still reachable from ``root``."""
+    node: Optional[Operation] = op
+    while node is not None:
+        if node is root:
+            return True
+        node = node.parent_op
+    return False
+
+
+def apply_patterns_greedily(
+    root: Operation,
+    patterns: Sequence[RewritePattern],
+    max_iterations: int = 64,
+) -> RewriteResult:
+    """Apply patterns to all ops under ``root`` until fixpoint.
+
+    Each sweep walks a snapshot of the IR; patterns are tried in
+    descending benefit order on every still-attached op.  Sweeps repeat
+    until none fires (or the iteration cap is hit, which signals a
+    non-converging pattern set).
+    """
+    ordered = sorted(patterns, key=lambda p: -p.benefit)
+    result = RewriteResult()
+    for _ in range(max_iterations):
+        result.iterations += 1
+        changed = False
+        # Materialize the walk first: patterns mutate the tree.
+        for op in list(root.walk()):
+            if op is not root and not _is_attached(op, root):
+                continue  # erased/detached by an earlier rewrite this sweep
+            for pattern in ordered:
+                if (
+                    pattern.root_op_name is not None
+                    and op.name != pattern.root_op_name
+                ):
+                    continue
+                rewriter = PatternRewriter()
+                if pattern.match_and_rewrite(op, rewriter):
+                    result.record(pattern)
+                    changed = True
+                    break
+        if not changed:
+            return result
+    raise IRError(
+        f"pattern application did not converge after {max_iterations} sweeps"
+    )

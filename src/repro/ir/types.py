@@ -1,0 +1,169 @@
+"""Type system for the multi-level IR.
+
+Types model compile-time information about runtime values.  They are
+immutable and interned by structural equality, mirroring MLIR's type
+uniquing: two ``MemRefType`` instances with the same shape and element
+type compare (and hash) equal.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+#: Marker for a dynamic dimension in a shaped type (MLIR prints it as ``?``).
+DYNAMIC = -1
+
+
+class Type:
+    """Base class for all IR types."""
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> tuple:
+        return ()
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+class F32Type(Type):
+    """32-bit IEEE-754 floating point."""
+
+    def __str__(self) -> str:
+        return "f32"
+
+
+class F64Type(Type):
+    """64-bit IEEE-754 floating point."""
+
+    def __str__(self) -> str:
+        return "f64"
+
+
+class IndexType(Type):
+    """Platform-sized integer used for loop induction variables and
+    memory indexing."""
+
+    def __str__(self) -> str:
+        return "index"
+
+
+class IntegerType(Type):
+    """Fixed-width signless integer (``i1``, ``i32``, ...)."""
+
+    def __init__(self, width: int):
+        if width <= 0:
+            raise ValueError(f"integer width must be positive, got {width}")
+        self.width = width
+
+    def _key(self) -> tuple:
+        return (self.width,)
+
+    def __str__(self) -> str:
+        return f"i{self.width}"
+
+
+class NoneType(Type):
+    """Unit type for ops that produce no meaningful value."""
+
+    def __str__(self) -> str:
+        return "none"
+
+
+class ShapedType(Type):
+    """Common base for types that carry a shape and an element type."""
+
+    def __init__(self, shape: Sequence[int], element_type: Type):
+        for dim in shape:
+            if dim < 0 and dim != DYNAMIC:
+                raise ValueError(f"invalid dimension size {dim}")
+        self.shape: Tuple[int, ...] = tuple(shape)
+        self.element_type = element_type
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    def has_static_shape(self) -> bool:
+        return all(dim != DYNAMIC for dim in self.shape)
+
+    def num_elements(self) -> Optional[int]:
+        """Total element count, or ``None`` if any dimension is dynamic."""
+        if not self.has_static_shape():
+            return None
+        total = 1
+        for dim in self.shape:
+            total *= dim
+        return total
+
+    def _key(self) -> tuple:
+        return (self.shape, self.element_type)
+
+    def _shape_str(self) -> str:
+        dims = ["?" if dim == DYNAMIC else str(dim) for dim in self.shape]
+        return "x".join(dims + [str(self.element_type)])
+
+
+class MemRefType(ShapedType):
+    """A reference to a (multi-dimensional) memory buffer."""
+
+    def __str__(self) -> str:
+        return f"memref<{self._shape_str()}>"
+
+
+class TensorType(ShapedType):
+    """An immutable multi-dimensional value (SSA tensor)."""
+
+    def __str__(self) -> str:
+        return f"tensor<{self._shape_str()}>"
+
+
+class VectorType(ShapedType):
+    """A fixed-length SIMD vector."""
+
+    def __str__(self) -> str:
+        return f"vector<{self._shape_str()}>"
+
+
+class FunctionType(Type):
+    """The type of a function: inputs and results."""
+
+    def __init__(self, inputs: Sequence[Type], results: Sequence[Type]):
+        self.inputs: Tuple[Type, ...] = tuple(inputs)
+        self.results: Tuple[Type, ...] = tuple(results)
+
+    def _key(self) -> tuple:
+        return (self.inputs, self.results)
+
+    def __str__(self) -> str:
+        ins = ", ".join(str(t) for t in self.inputs)
+        outs = ", ".join(str(t) for t in self.results)
+        if len(self.results) == 1:
+            return f"({ins}) -> {outs}"
+        return f"({ins}) -> ({outs})"
+
+
+# Interned singletons for the common scalar types.
+f32 = F32Type()
+f64 = F64Type()
+index = IndexType()
+i1 = IntegerType(1)
+i32 = IntegerType(32)
+i64 = IntegerType(64)
+none = NoneType()
+
+
+def memref(*shape_then_element) -> MemRefType:
+    """Convenience constructor: ``memref(256, 256, f32)``."""
+    *shape, element_type = shape_then_element
+    if not isinstance(element_type, Type):
+        raise TypeError("last argument must be the element type")
+    return MemRefType(shape, element_type)
+
+
+def is_float(ty: Type) -> bool:
+    return isinstance(ty, (F32Type, F64Type))

@@ -1,0 +1,129 @@
+"""Structural IR verification."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .core import Block, IRError, Operation
+from .values import BlockArgument, OpResult
+
+
+class VerificationError(IRError):
+    """Raised when the IR violates a structural invariant."""
+
+
+def verify(op: Operation, context=None) -> None:
+    """Verify ``op`` and everything nested under it.
+
+    Checks performed:
+      * registered dialects only (when a context is given),
+      * terminators appear only in terminal position,
+      * use-def consistency (operands reference this op in their use list),
+      * SSA visibility: each operand is defined before use in the same
+        block, or in a (lexically) enclosing block,
+      * op-specific invariants via ``Operation.verify_``.
+    """
+    for nested in op.walk():
+        _verify_single(nested, context)
+
+
+def _verify_single(op: Operation, context) -> None:
+    if context is not None and not context.is_loaded(op.dialect):
+        raise VerificationError(
+            f"op {op.name} belongs to unloaded dialect '{op.dialect}'"
+        )
+
+    block = op.parent_block
+    if block is not None:
+        is_last = block.operations[-1] is op
+        if op.IS_TERMINATOR and not is_last:
+            raise VerificationError(
+                f"terminator {op.name} is not last in its block"
+            )
+
+    for i, operand in enumerate(op.operands):
+        if not any(use.owner is op for use in operand.uses):
+            raise VerificationError(
+                f"use-def inconsistency: {op.name} operand #{i}"
+            )
+        _check_visibility(op, operand, i)
+
+    for region in op.regions:
+        for inner_block in region.blocks:
+            if inner_block.operations and not _has_terminator_rule_exempt(op):
+                last = inner_block.operations[-1]
+                if not last.IS_TERMINATOR:
+                    raise VerificationError(
+                        f"block inside {op.name} does not end with a terminator"
+                    )
+
+    try:
+        op.verify_()
+    except VerificationError:
+        raise
+    except IRError as exc:
+        raise VerificationError(str(exc)) from exc
+
+
+def _has_terminator_rule_exempt(op: Operation) -> bool:
+    return op.name in ("builtin.module",)
+
+
+def _enclosing_blocks(op: Operation):
+    block = op.parent_block
+    while block is not None:
+        yield block
+        parent = block.parent_op
+        block = parent.parent_block if parent is not None else None
+
+
+def _check_visibility(op: Operation, operand, index: int) -> None:
+    if isinstance(operand, BlockArgument):
+        owner: Optional[Block] = operand.owner
+        for enclosing in _enclosing_blocks(op):
+            if enclosing is owner:
+                return
+            # CFG region: accept args of sibling blocks (a dominance
+            # analysis would be needed for a precise check).
+            if (
+                len(_siblings(enclosing)) > 1
+                and owner.parent_region is enclosing.parent_region
+            ):
+                return
+        raise VerificationError(
+            f"{op.name} operand #{index}: block argument not visible here"
+        )
+    if isinstance(operand, OpResult):
+        def_op = operand.owner
+        def_block = def_op.parent_block
+        if def_block is None:
+            raise VerificationError(
+                f"{op.name} operand #{index}: defined by a detached op"
+            )
+        for enclosing in _enclosing_blocks(op):
+            if enclosing is def_block:
+                # Same or enclosing block: the def must come first unless
+                # the use is nested inside a region of a later op (then the
+                # enclosing-position op is what matters).
+                user = op
+                while user.parent_block is not def_block:
+                    user = user.parent_op  # climb to def's block level
+                if def_op is user or not def_op.is_before_in_block(user):
+                    raise VerificationError(
+                        f"{op.name} operand #{index}: used before definition"
+                    )
+                return
+            if len(_siblings(enclosing)) > 1:
+                # Multi-block (CFG) region: a dominance analysis would be
+                # needed; accept defs from any block of the same region.
+                if def_block.parent_region is enclosing.parent_region:
+                    return
+        raise VerificationError(
+            f"{op.name} operand #{index}: value not visible from this scope"
+        )
+
+
+def _siblings(block: Block):
+    if block.parent_region is None:
+        return [block]
+    return block.parent_region.blocks

@@ -1,0 +1,24 @@
+"""MET — the MLIR Extraction Tool.
+
+A frontend for the polyhedral subset of C that enters the multi-level
+IR pipeline at the Affine dialect (Figure 3 of the paper).  During
+translation, the code is canonicalized by distributing loops to
+simplify subsequent pattern recognition.
+"""
+
+from .c_ast import (  # noqa: F401
+    ArrayRef,
+    Assign,
+    BinOp,
+    CSyntaxError,
+    Decl,
+    For,
+    FunctionDef,
+    Ident,
+    Number,
+    Param,
+    TranslationUnit,
+)
+from .c_lexer import CLexError, tokenize  # noqa: F401
+from .c_parser import parse_c  # noqa: F401
+from .emitter import CNotAffineError, compile_c, emit_module  # noqa: F401

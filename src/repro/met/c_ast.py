@@ -1,0 +1,145 @@
+"""AST for the polyhedral C subset."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+
+class CSyntaxError(Exception):
+    def __init__(self, message: str, line: Optional[int] = None):
+        suffix = f" (line {line})" if line is not None else ""
+        super().__init__(message + suffix)
+
+
+class Node:
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{k}={v!r}" for k, v in vars(self).items() if not k.startswith("_")
+        )
+        return f"{type(self).__name__}({fields})"
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+class Expr(Node):
+    pass
+
+
+class Number(Expr):
+    """Integer or float literal."""
+
+    def __init__(self, value: Union[int, float]):
+        self.value = value
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self.value, float)
+
+
+class Ident(Expr):
+    def __init__(self, name: str):
+        self.name = name
+
+
+class ArrayRef(Expr):
+    """``A[i][j]`` (multi-dim style) or ``A[i * lda + j]`` (linearized)."""
+
+    def __init__(self, name: str, indices: Sequence[Expr]):
+        self.name = name
+        self.indices = list(indices)
+
+    @property
+    def rank(self) -> int:
+        return len(self.indices)
+
+
+class BinOp(Expr):
+    def __init__(self, op: str, lhs: Expr, rhs: Expr):
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class UnaryOp(Expr):
+    def __init__(self, op: str, operand: Expr):
+        self.op = op
+        self.operand = operand
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+class Stmt(Node):
+    pass
+
+
+class Assign(Stmt):
+    """``lhs op rhs`` where op is '=', '+=', '-=', or '*='."""
+
+    def __init__(self, target: ArrayRef, op: str, value: Expr):
+        self.target = target
+        self.op = op
+        self.value = value
+
+
+class For(Stmt):
+    """``for (int iv = lb; iv < ub; iv += step) body``."""
+
+    def __init__(
+        self,
+        iv: str,
+        lower: Expr,
+        upper: Expr,
+        step: int,
+        body: List[Stmt],
+    ):
+        self.iv = iv
+        self.lower = lower
+        self.upper = upper
+        self.step = step
+        self.body = body
+
+
+class Decl(Stmt):
+    """Local array declaration: ``float D[800][900];``."""
+
+    def __init__(self, ctype: str, name: str, dims: Sequence[int]):
+        self.ctype = ctype
+        self.name = name
+        self.dims = list(dims)
+
+
+# ----------------------------------------------------------------------
+# Top level
+# ----------------------------------------------------------------------
+
+
+class Param(Node):
+    """Function parameter: scalar (``int n``, ``float alpha``) or array
+    (``float A[256][512]``)."""
+
+    def __init__(self, ctype: str, name: str, dims: Sequence[int] = ()):
+        self.ctype = ctype
+        self.name = name
+        self.dims = list(dims)
+
+    @property
+    def is_array(self) -> bool:
+        return bool(self.dims)
+
+
+class FunctionDef(Node):
+    def __init__(self, name: str, params: List[Param], body: List[Stmt]):
+        self.name = name
+        self.params = params
+        self.body = body
+
+
+class TranslationUnit(Node):
+    def __init__(self, functions: List[FunctionDef]):
+        self.functions = functions

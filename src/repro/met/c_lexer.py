@@ -1,0 +1,70 @@
+"""Lexer for the polyhedral C subset accepted by MET."""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple
+
+
+class CLexError(Exception):
+    pass
+
+
+class CToken(NamedTuple):
+    kind: str
+    text: str
+    line: int
+
+
+KEYWORDS = {
+    "void",
+    "float",
+    "double",
+    "int",
+    "for",
+    "if",
+    "else",
+    "return",
+    "const",
+    "static",
+}
+
+_SPEC = [
+    ("WS", r"[ \t\r]+"),
+    ("NEWLINE", r"\n"),
+    ("LINE_COMMENT", r"//[^\n]*"),
+    ("BLOCK_COMMENT", r"/\*.*?\*/"),
+    ("PREPROC", r"\#[^\n]*"),
+    ("FLOATLIT", r"\d+\.\d*(?:[eE][-+]?\d+)?[fF]?|\d+[eE][-+]?\d+[fF]?|\d+[fF]"),
+    ("INTLIT", r"\d+"),
+    ("ID", r"[A-Za-z_][A-Za-z_0-9]*"),
+    ("OP", r"\+\+|--|\+=|-=|\*=|/=|<=|>=|==|!=|&&|\|\||[-+*/%<>=!&|]"),
+    ("PUNCT", r"[()\[\]{};,]"),
+]
+
+_MASTER = re.compile(
+    "|".join(f"(?P<{name}>{pattern})" for name, pattern in _SPEC), re.DOTALL
+)
+
+
+def tokenize(source: str) -> List[CToken]:
+    tokens: List[CToken] = []
+    line = 1
+    pos = 0
+    while pos < len(source):
+        match = _MASTER.match(source, pos)
+        if match is None:
+            raise CLexError(f"line {line}: unexpected character {source[pos]!r}")
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "NEWLINE":
+            line += 1
+        elif kind == "BLOCK_COMMENT":
+            line += text.count("\n")
+        elif kind not in ("WS", "LINE_COMMENT", "PREPROC"):
+            if kind == "ID" and text in KEYWORDS:
+                kind = "KW"
+            tokens.append(CToken(kind, text, line))
+        pos = match.end()
+    tokens.append(CToken("EOF", "", line))
+    return tokens

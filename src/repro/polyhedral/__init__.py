@@ -1,0 +1,9 @@
+"""The polyhedral source-to-source baseline (Pluto stand-in)."""
+
+from .dependences import band_is_fully_permutable, has_uniform_writes  # noqa: F401
+from .pluto import (  # noqa: F401
+    FUSION_HEURISTICS,
+    PlutoOptions,
+    pluto_best,
+    pluto_optimize,
+)

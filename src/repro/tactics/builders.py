@@ -1,0 +1,143 @@
+"""Builder execution: materialize a tactic's replacement IR.
+
+Given a :class:`~repro.tactics.compiled.MatchResult` and the TDS
+builder list, emits the replacement — Linalg ops, BLAS library calls,
+or the high-level ``affine.matmul`` — immediately before the matched
+band, allocating intermediate buffers for the temporaries (the D/E
+tensors of the TTGT recipe), then erases the band.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..dialects import blas as blas_d
+from ..dialects import linalg as linalg_d
+from ..dialects import std
+from ..dialects.affine import AffineMatmulOp
+from ..ir import (
+    Builder,
+    IRError,
+    InsertionPoint,
+    MemRefType,
+    Operation,
+    Value,
+)
+from .compiled import MatchResult
+from .tds import BuilderSpec, TacticRecord
+
+
+class BuilderError(IRError):
+    pass
+
+
+def _erase_band(match: MatchResult) -> None:
+    root = match.root
+    block = root.parent_block
+    root.drop_all_references()
+    for op in list(root.walk_inner()):
+        op.drop_all_references()
+    block.remove(root)
+
+
+def apply_builders(
+    record: TacticRecord,
+    match: MatchResult,
+    target: str = "linalg",
+    library: str = "mkl-dnn",
+) -> List[Operation]:
+    """Run the builder list; returns the newly created operations."""
+    if target not in ("linalg", "blas", "affine"):
+        raise BuilderError(f"unknown raising target {target!r}")
+    env: Dict[str, Value] = dict(match.memref_of)
+    builder = Builder(InsertionPoint.before(match.root))
+    created: List[Operation] = []
+
+    def extent(var: str) -> int:
+        if var not in match.extent_of:
+            raise BuilderError(
+                f"tactic {record.name}: unknown index variable {var!r}"
+            )
+        return match.extent_of[var]
+
+    def out_value(spec: BuilderSpec, element_type) -> Value:
+        name = spec.out
+        if name in env:
+            return env[name]
+        if spec.dims is None:
+            raise BuilderError(
+                f"tactic {record.name}: cannot size temporary {name!r} "
+                "(builder lacks Dims)"
+            )
+        shape = []
+        for group in spec.dims:
+            size = 1
+            for var in group:
+                size *= extent(var)
+            shape.append(size)
+        alloc = builder.insert(
+            std.AllocOp.create(MemRefType(shape, element_type))
+        )
+        created.append(alloc)
+        env[name] = alloc.result
+        return alloc.result
+
+    for spec in record.builders:
+        ins = []
+        for name in spec.ins:
+            if name not in env:
+                raise BuilderError(
+                    f"tactic {record.name}: builder input {name!r} is "
+                    "neither a matched tensor nor a prior output"
+                )
+            ins.append(env[name])
+        elem = ins[0].type.element_type
+        out = out_value(spec, elem)
+        op = _emit(spec, ins, out, target, library)
+        builder.insert(op)
+        created.append(op)
+
+    _erase_band(match)
+    return created
+
+
+def _emit(
+    spec: BuilderSpec,
+    ins: List[Value],
+    out: Value,
+    target: str,
+    library: str,
+) -> Operation:
+    kind = spec.kind
+    if target == "affine":
+        if kind == "matmulBuilder":
+            return AffineMatmulOp.create(ins[0], ins[1], out)
+        raise BuilderError(
+            f"the Affine raising path only supports matmul, got {kind}"
+        )
+    if kind == "transposeBuilder":
+        perm = spec.expr
+        if target == "blas":
+            return blas_d.TransposeOp.create(ins[0], out, perm, library)
+        return linalg_d.TransposeOp.create(ins[0], out, perm)
+    if kind == "reshapeBuilder":
+        groups = spec.expr
+        if target == "blas":
+            return blas_d.ReshapeOp.create(ins[0], out, groups, library)
+        return linalg_d.ReshapeOp.create(ins[0], out, groups)
+    if kind == "matmulBuilder":
+        if target == "blas":
+            return blas_d.SgemmOp.create(ins[0], ins[1], out, library=library)
+        return linalg_d.MatmulOp.create(ins[0], ins[1], out)
+    if kind == "matvecBuilder":
+        trans = spec.expr == [1, 0]
+        if target == "blas":
+            return blas_d.SgemvOp.create(
+                ins[0], ins[1], out, library, trans=trans
+            )
+        return linalg_d.MatvecOp.create(ins[0], ins[1], out, trans=trans)
+    if kind == "convBuilder":
+        if target == "blas":
+            return blas_d.Conv2DOp.create(ins[0], ins[1], out, library)
+        return linalg_d.Conv2DNchwOp.create(ins[0], ins[1], out)
+    raise BuilderError(f"unhandled builder kind {kind!r}")

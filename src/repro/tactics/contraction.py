@@ -1,0 +1,159 @@
+"""Tensor-contraction tactics: the TTGT rewriting (§III-A).
+
+A contraction spec follows the paper's naming convention
+``out-A-B``, e.g. ``abc-acd-db`` for::
+
+    C(a,b,c) += A(a,c,d) * B(d,b)
+
+:func:`ttgt_plan` computes the Transpose-Transpose-GEMM-Transpose
+decomposition — flatten the tensors into matrices via explicit
+transpositions and reshapes, run GEMM, fold the result back — and
+:func:`contraction_tactic_tdl` renders it as TDL text, which then goes
+through the ordinary TDL -> TDS -> matchers pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from .tdl.ast import TdlSyntaxError
+
+
+class TTGTPlan(NamedTuple):
+    out_indices: List[str]
+    a_indices: List[str]
+    b_indices: List[str]
+    m_group: List[str]  # A-free indices (GEMM rows), in A order
+    n_group: List[str]  # B-free indices (GEMM cols), in B order
+    k_group: List[str]  # contracted indices, in A order
+
+
+def parse_contraction_spec(spec: str) -> Tuple[List[str], List[str], List[str]]:
+    parts = spec.split("-")
+    if len(parts) != 3:
+        raise TdlSyntaxError(f"bad contraction spec {spec!r} (want out-A-B)")
+    return [list(part) for part in parts]
+
+
+def ttgt_plan(spec: str) -> TTGTPlan:
+    """Derive the TTGT grouping for a contraction spec."""
+    out_idx, a_idx, b_idx = parse_contraction_spec(spec)
+    out_set, a_set, b_set = set(out_idx), set(a_idx), set(b_idx)
+    if len(a_set) != len(a_idx) or len(b_set) != len(b_idx):
+        raise TdlSyntaxError(f"{spec}: repeated index within a tensor")
+    k_group = [v for v in a_idx if v in b_set and v not in out_set]
+    m_group = [v for v in a_idx if v in out_set]
+    n_group = [v for v in b_idx if v in out_set]
+    if not k_group:
+        raise TdlSyntaxError(f"{spec}: no contracted index")
+    if sorted(m_group + n_group) != sorted(out_idx):
+        raise TdlSyntaxError(
+            f"{spec}: output indices are not the union of free indices"
+        )
+    if sorted(a_idx) != sorted(m_group + k_group):
+        raise TdlSyntaxError(f"{spec}: A has indices outside M+K")
+    if sorted(b_idx) != sorted(k_group + n_group):
+        raise TdlSyntaxError(f"{spec}: B has indices outside K+N")
+    return TTGTPlan(out_idx, a_idx, b_idx, m_group, n_group, k_group)
+
+
+def _group_ref(
+    group: List[str], fresh: str, where: Dict[str, List[str]]
+) -> str:
+    """Name for a (possibly grouped) GEMM dimension; records the
+    where-clause when flattening more than one index."""
+    if len(group) == 1:
+        return group[0]
+    where[fresh] = list(group)
+    return fresh
+
+
+def _copy_stmt_needed(src_indices: List[str], grouped: List[List[str]]) -> bool:
+    """A copy is needed unless the source is already the flattened
+    matrix: exactly the groups, in order, each of size 1."""
+    flat = [v for group in grouped for v in group]
+    if src_indices != flat:
+        return True
+    return any(len(group) > 1 for group in grouped)
+
+
+def contraction_tactic_tdl(spec: str, name: Optional[str] = None) -> str:
+    """Render the TTGT tactic for a contraction spec as TDL text."""
+    plan = ttgt_plan(spec)
+    tactic_name = name or "TTGT_" + spec.replace("-", "_")
+    where_c: Dict[str, List[str]] = {}
+    m_ref = _group_ref(plan.m_group, "m0", where_c)
+    n_ref = _group_ref(plan.n_group, "n0", where_c)
+    where_a: Dict[str, List[str]] = {}
+    m_ref_a = _group_ref(plan.m_group, "m0", where_a)
+    where_b: Dict[str, List[str]] = {}
+    n_ref_b = _group_ref(plan.n_group, "n0", where_b)
+    k_ref_holder: Dict[str, List[str]] = {}
+    k_ref = _group_ref(plan.k_group, "k0", k_ref_holder)
+
+    def clause(where: Dict[str, List[str]]) -> str:
+        if not where:
+            return ""
+        return " where " + ", ".join(
+            f"{v} = {' * '.join(group)}" for v, group in where.items()
+        )
+
+    out_list = ", ".join(plan.out_indices)
+    a_list = ", ".join(plan.a_indices)
+    b_list = ", ".join(plan.b_indices)
+
+    lines = [f"def {tactic_name} {{", "  pattern",
+             f"    C({out_list}) += A({a_list}) * B({b_list})", "  builder"]
+
+    # D = flatten(C), E = flatten(A), F = flatten(B) — omitting
+    # flattenings that would be identities.
+    c_grouped = [plan.m_group, plan.n_group]
+    needs_d = _copy_stmt_needed(plan.out_indices, c_grouped)
+    if needs_d:
+        d_name = "D"
+        lines.append(
+            f"    {d_name}({m_ref}, {n_ref}) = C({out_list})" + clause(where_c)
+        )
+    else:
+        d_name = "C"
+    a_grouped = [plan.m_group, plan.k_group]
+    if _copy_stmt_needed(plan.a_indices, a_grouped):
+        e_name = "E"
+        lines.append(
+            f"    {e_name}({m_ref_a}, {k_ref}) = A({a_list})"
+            + clause({**where_a, **k_ref_holder})
+        )
+    else:
+        e_name = "A"
+    b_grouped = [plan.k_group, plan.n_group]
+    if _copy_stmt_needed(plan.b_indices, b_grouped):
+        f_name = "F"
+        lines.append(
+            f"    {f_name}({k_ref}, {n_ref_b}) = B({b_list})"
+            + clause({**k_ref_holder, **where_b})
+        )
+    else:
+        f_name = "B"
+    lines.append(
+        f"    {d_name}({m_ref}, {n_ref}) += "
+        f"{e_name}({m_ref}, {k_ref}) * {f_name}({k_ref}, {n_ref})"
+    )
+    if needs_d:
+        lines.append(
+            f"    C({out_list}) = {d_name}({m_ref}, {n_ref})" + clause(where_c)
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+#: The seven contractions evaluated in Figure 9, from coupled-cluster
+#: methods and chemistry kernels (refs [19]-[21] of the paper).
+PAPER_CONTRACTIONS = [
+    "ab-acd-dbc",
+    "abc-acd-db",
+    "abc-ad-bdc",
+    "ab-cad-dcb",
+    "abc-bda-dc",
+    "abcd-aebf-dfce",
+    "abcd-aebf-fdec",
+]

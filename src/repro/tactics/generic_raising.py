@@ -1,0 +1,187 @@
+"""Raising arbitrary contractions to ``linalg.generic``.
+
+The stock tactics target *named* ops (matmul, matvec, conv, the TTGT
+specs).  This module adds the raising path the paper lists as future
+work ("Shortly, we will provide more raising paths"): any
+multiply-accumulate loop nest whose accesses are plain permutations of
+the band's induction variables is raised to a ``linalg.generic`` with
+the appropriate indexing maps and iterator types — preserving the
+information that the computation is a structured contraction even when
+no named op or library routine fits.
+
+It runs at lower benefit than every named tactic, so it only captures
+what they leave behind (e.g. a transposed-output GEMM, or contractions
+outside the seven TTGT specs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..analysis.accesses import MemoryAccess, access_function
+from ..dialects import linalg as linalg_d
+from ..dialects import std
+from ..dialects.affine import (
+    AffineForOp,
+    AffineLoadOp,
+    AffineStoreOp,
+    perfect_nest,
+)
+from ..ir import (
+    AffineMap,
+    Operation,
+    PatternRewriter,
+    RewritePattern,
+    Value,
+)
+from ..ir import affine_expr as ae
+from .raising import RaisingStats
+
+
+def _simple_subscript_dims(
+    access: MemoryAccess, iv_positions: Dict[int, int]
+) -> Optional[List[int]]:
+    """If every subscript is exactly one band IV, return their band
+    positions (in subscript order)."""
+    dims: List[int] = []
+    for sub in access.subscripts:
+        if sub.constant != 0 or len(sub.coeffs) != 1:
+            return None
+        ((iv, coeff),) = sub.coeffs.items()
+        if coeff != 1 or id(iv) not in iv_positions:
+            return None
+        dims.append(iv_positions[id(iv)])
+    if len(set(dims)) != len(dims):
+        return None
+    return dims
+
+
+class GenericContractionPattern(RewritePattern):
+    """MAC loop nests -> linalg.generic (catch-all raising path)."""
+
+    root_op_name = "affine.for"
+    benefit = 0  # strictly after every named tactic
+
+    def __init__(self, stats: Optional[RaisingStats] = None):
+        self.stats = stats
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        if not isinstance(op, AffineForOp):
+            return False
+        parent = op.parent_op
+        if isinstance(parent, AffineForOp) and len(parent.ops_in_body()) == 1:
+            return False
+        band = perfect_nest(op)
+        for loop in band:
+            if loop.constant_lower_bound() != 0 or loop.step != 1:
+                return False
+            if loop.constant_trip_count() is None:
+                return False
+        payload = band[-1].ops_in_body()
+        counts: Dict[str, int] = {}
+        for body_op in payload:
+            counts[body_op.name] = counts.get(body_op.name, 0) + 1
+        if counts != {
+            "affine.load": 3,
+            "std.mulf": 1,
+            "std.addf": 1,
+            "affine.store": 1,
+        }:
+            return False
+
+        store = next(o for o in payload if isinstance(o, AffineStoreOp))
+        add = store.value.defining_op
+        if not isinstance(add, std.AddFOp):
+            return False
+        mul = None
+        acc_load = None
+        for operand in add.operands:
+            def_op = operand.defining_op
+            if isinstance(def_op, std.MulFOp):
+                mul = def_op
+            elif isinstance(def_op, AffineLoadOp):
+                acc_load = def_op
+        if mul is None or acc_load is None:
+            return False
+        factors = [v.defining_op for v in mul.operands]
+        if not all(isinstance(f, AffineLoadOp) for f in factors):
+            return False
+
+        out_access = access_function(store)
+        acc_access = access_function(acc_load)
+        in_accesses = [access_function(f) for f in factors]
+        if out_access is None or acc_access is None or None in in_accesses:
+            return False
+        if not out_access.same_element(acc_access):
+            return False
+        if acc_access.memref in [a.memref for a in in_accesses]:
+            return False  # accumulator aliased as input: not a contraction
+
+        iv_positions = {
+            id(loop.induction_var): i for i, loop in enumerate(band)
+        }
+        out_dims = _simple_subscript_dims(out_access, iv_positions)
+        in_dims = [
+            _simple_subscript_dims(a, iv_positions) for a in in_accesses
+        ]
+        if out_dims is None or None in in_dims:
+            return False
+        covered = set(out_dims)
+        for dims in in_dims:
+            covered.update(dims)
+        if covered != set(range(len(band))):
+            return False
+
+        num_loops = len(band)
+        maps = [
+            AffineMap(num_loops, 0, [ae.dim(d) for d in dims])
+            for dims in [*in_dims, out_dims]
+        ]
+        iterator_types = [
+            "parallel" if d in set(out_dims) else "reduction"
+            for d in range(num_loops)
+        ]
+
+        rewriter.set_insertion_point_before(op)
+        generic = linalg_d.GenericOp.create(
+            inputs=[a.memref for a in in_accesses],
+            outputs=[out_access.memref],
+            indexing_maps=maps,
+            iterator_types=iterator_types,
+        )
+        block = generic.body
+        a_arg, b_arg, c_arg = block.arguments
+        new_mul = block.append(std.MulFOp.create(a_arg, b_arg))
+        new_add = block.append(std.AddFOp.create(new_mul.result, c_arg))
+        block.append(linalg_d.LinalgYieldOp.create([new_add.result]))
+        rewriter.insert(generic)
+
+        root = band[0]
+        root.drop_all_references()
+        for inner in list(root.walk_inner()):
+            inner.drop_all_references()
+        root.parent_block.remove(root)
+        if self.stats is not None:
+            self.stats.record("GENERIC")
+        return True
+
+
+def raise_to_generic(module) -> RaisingStats:
+    """Apply only the generic-contraction raising path."""
+    from ..ir import apply_patterns_greedily
+
+    stats = RaisingStats()
+    apply_patterns_greedily(module, [GenericContractionPattern(stats)])
+    return stats
+
+
+class GenericRaisingPass:
+    """-raise-affine-to-generic: catch-all contraction raising."""
+
+    name = "raise-affine-to-generic"
+
+    def __init__(self):
+        self.stats = RaisingStats()
+
+    def run(self, module, context) -> None:
+        self.stats = raise_to_generic(module)

@@ -1,0 +1,12 @@
+"""Matcher library: structural, operation, and access-pattern matchers."""
+
+from .op_matchers import m_Any, m_Capt, m_Op  # noqa: F401
+from .access import (  # noqa: F401
+    AccessPatternContext,
+    MatchFailure,
+    m_ArrayPlaceholder,
+    m_Placeholder,
+    match_block_accesses,
+)
+from .structural import For, If, NestedPatternContext, StructuralMatcher  # noqa: F401
+from .producers import m_ProducerOp, producer_of  # noqa: F401

@@ -1,0 +1,288 @@
+"""Raising passes: the complementary direction to progressive lowering.
+
+``-raise-affine-to-affine`` lifts GEMM-shaped loop nests to the
+high-level ``affine.matmul`` op *within* the Affine dialect (§V-A);
+``-raise-affine-to-linalg`` lifts to the Linalg dialect (§V-B),
+optionally followed by the BLAS substitution pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.accesses import access_function
+from ..dialects import linalg as linalg_d
+from ..dialects import std
+from ..dialects.affine import AffineForOp, AffineStoreOp, perfect_nest
+from ..ir import (
+    Context,
+    ModuleOp,
+    Operation,
+    Pass,
+    PatternRewriter,
+    RewritePattern,
+    apply_patterns_greedily,
+)
+from .compiled import CompiledTactic, compile_tactic
+from .contraction import PAPER_CONTRACTIONS, contraction_tactic_tdl
+from .tdl.frontend import tdl_to_tds
+from .tdl.parser import parse_tdl
+
+# ----------------------------------------------------------------------
+# The stock tactics library (all defined in TDL — we eat our own food)
+# ----------------------------------------------------------------------
+
+GEMM_TDL = "def GEMM { pattern = builder C(i, j) += A(i, k) * B(k, j) }"
+
+MATVEC_TDL = "def MATVEC { pattern = builder y(i) += A(i, j) * x(j) }"
+
+#: y(j) += A(i, j) * x(i): A used transposed (CBLAS trans parameter).
+MATVEC_T_TDL = "def MATVEC_T { pattern = builder y(j) += A(i, j) * x(i) }"
+
+CONV2D_TDL = (
+    "def CONV2D { pattern = builder "
+    "O(b, f, y, x) += I(b, c, y + kh, x + kw) * K(f, c, kh, kw) }"
+)
+
+
+def compile_tdl(source: str) -> List[CompiledTactic]:
+    """TDL text -> TDS records -> compiled tactics (the full Figure 3
+    pipeline)."""
+    return [compile_tactic(tdl_to_tds(t)) for t in parse_tdl(source)]
+
+
+_DEFAULT_TACTICS_CACHE: Optional[List[CompiledTactic]] = None
+
+
+def default_linalg_tactics() -> List[CompiledTactic]:
+    """Tactics for the Affine-to-Linalg raising path: named ops plus
+    the TTGT tactics for the paper's contraction benchmarks.
+
+    Compiled tactics are stateless between matches, so the library is
+    built once per process (like the C++ flow, where TableGen output is
+    compiled ahead of time).
+    """
+    global _DEFAULT_TACTICS_CACHE
+    if _DEFAULT_TACTICS_CACHE is None:
+        sources = [GEMM_TDL, MATVEC_TDL, MATVEC_T_TDL, CONV2D_TDL]
+        sources += [
+            contraction_tactic_tdl(spec) for spec in PAPER_CONTRACTIONS
+        ]
+        tactics: List[CompiledTactic] = []
+        for source in sources:
+            tactics.extend(compile_tdl(source))
+        _DEFAULT_TACTICS_CACHE = tactics
+    return list(_DEFAULT_TACTICS_CACHE)
+
+
+def gemm_tactic() -> CompiledTactic:
+    return compile_tdl(GEMM_TDL)[0]
+
+
+# ----------------------------------------------------------------------
+# Rewrite patterns
+# ----------------------------------------------------------------------
+
+
+class RaisingStats:
+    """Counts raised callsites per tactic (Figure 8's metric)."""
+
+    def __init__(self):
+        self.callsites: Dict[str, int] = {}
+
+    def record(self, tactic_name: str) -> None:
+        self.callsites[tactic_name] = self.callsites.get(tactic_name, 0) + 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.callsites.values())
+
+    def __repr__(self) -> str:
+        return f"RaisingStats({self.callsites})"
+
+
+class TacticRewritePattern(RewritePattern):
+    """Hooks a compiled tactic into the MLIR-style pattern rewriter."""
+
+    root_op_name = "affine.for"
+
+    def __init__(
+        self,
+        tactic: CompiledTactic,
+        target: str = "linalg",
+        library: str = "mkl-dnn",
+        stats: Optional[RaisingStats] = None,
+    ):
+        self.tactic = tactic
+        self.target = target
+        self.library = library
+        self.stats = stats
+        # Deeper patterns first: a contraction band must be claimed by
+        # its contraction tactic, not a shallower pattern.
+        self.benefit = tactic.num_loops
+
+    @property
+    def pattern_name(self) -> str:
+        return self.tactic.name
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        result = self.tactic.match(op)
+        if result is None:
+            return False
+        from .builders import apply_builders
+
+        apply_builders(self.tactic.record, result, self.target, self.library)
+        if self.stats is not None:
+            self.stats.record(self.tactic.name)
+        return True
+
+
+class FillRaisingPattern(RewritePattern):
+    """Raise constant-initialization nests to ``linalg.fill``.
+
+    TDL cannot express scalar constants, so this complementary pattern
+    is hand-written against the matcher API — it recognizes a perfect
+    band whose only payload is ``store const -> T[ivs]`` covering every
+    band IV exactly once.
+    """
+
+    root_op_name = "affine.for"
+    benefit = 0  # after all tactics
+
+    def __init__(self, stats: Optional[RaisingStats] = None):
+        self.stats = stats
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        if not isinstance(op, AffineForOp):
+            return False
+        parent = op.parent_op
+        if isinstance(parent, AffineForOp) and len(parent.ops_in_body()) == 1:
+            return False
+        band = perfect_nest(op)
+        payload = band[-1].ops_in_body()
+        if len(payload) != 2:
+            return False
+        const_op, store_op = payload
+        if not isinstance(const_op, std.ConstantOp) or not isinstance(
+            store_op, AffineStoreOp
+        ):
+            return False
+        if store_op.value is not const_op.result:
+            return False
+        access = access_function(store_op)
+        if access is None:
+            return False
+        band_ivs = [loop.induction_var for loop in band]
+        if len(access.subscripts) != len(band_ivs):
+            return False
+        seen = set()
+        for sub in access.subscripts:
+            single = None
+            if len(sub.coeffs) == 1 and sub.constant == 0:
+                ((iv, coeff),) = sub.coeffs.items()
+                if coeff == 1:
+                    single = iv
+            if single is None or id(single) in seen:
+                return False
+            if not any(single is iv for iv in band_ivs):
+                return False
+            seen.add(id(single))
+        # Bounds must cover the full memref.
+        memref = store_op.memref
+        for loop in band:
+            if loop.constant_lower_bound() != 0:
+                return False
+        extents = {}
+        for sub, dim_size in zip(access.subscripts, memref.type.shape):
+            ((iv, _),) = sub.coeffs.items()
+            loop = iv.owner.parent_op
+            if loop.constant_trip_count() != dim_size:
+                return False
+        rewriter.set_insertion_point_before(op)
+        new_const = rewriter.insert(
+            std.ConstantOp.create(const_op.value, memref.type.element_type)
+        )
+        rewriter.insert(linalg_d.FillOp.create(new_const.result, memref))
+        root = band[0]
+        root.drop_all_references()
+        for inner in list(root.walk_inner()):
+            inner.drop_all_references()
+        root.parent_block.remove(root)
+        if self.stats is not None:
+            self.stats.record("FILL")
+        return True
+
+
+# ----------------------------------------------------------------------
+# Passes
+# ----------------------------------------------------------------------
+
+
+class RaiseAffineToAffinePass(Pass):
+    """-raise-affine-to-affine: GEMM loop nests -> affine.matmul."""
+
+    name = "raise-affine-to-affine"
+
+    def __init__(self):
+        self.stats = RaisingStats()
+
+    def run(self, module: ModuleOp, context: Context) -> None:
+        pattern = TacticRewritePattern(
+            gemm_tactic(), target="affine", stats=self.stats
+        )
+        apply_patterns_greedily(module, [pattern])
+
+
+class RaiseAffineToLinalgPass(Pass):
+    """-raise-affine-to-linalg: loop nests -> Linalg named ops."""
+
+    name = "raise-affine-to-linalg"
+
+    def __init__(
+        self,
+        tactics: Optional[Sequence[CompiledTactic]] = None,
+        raise_fills: bool = True,
+        raise_generics: bool = False,
+    ):
+        self.tactics = list(tactics) if tactics is not None else None
+        self.raise_fills = raise_fills
+        self.raise_generics = raise_generics
+        self.stats = RaisingStats()
+
+    def run(self, module: ModuleOp, context: Context) -> None:
+        tactics = (
+            self.tactics if self.tactics is not None else default_linalg_tactics()
+        )
+        patterns: List[RewritePattern] = [
+            TacticRewritePattern(t, target="linalg", stats=self.stats)
+            for t in tactics
+        ]
+        if self.raise_fills:
+            patterns.append(FillRaisingPattern(self.stats))
+        if self.raise_generics:
+            from .generic_raising import GenericContractionPattern
+
+            patterns.append(GenericContractionPattern(self.stats))
+        apply_patterns_greedily(module, patterns)
+
+
+# ----------------------------------------------------------------------
+# Convenience wrappers
+# ----------------------------------------------------------------------
+
+
+def raise_affine_to_affine(module: ModuleOp) -> RaisingStats:
+    pass_ = RaiseAffineToAffinePass()
+    pass_.run(module, Context())
+    return pass_.stats
+
+
+def raise_affine_to_linalg(
+    module: ModuleOp,
+    tactics: Optional[Sequence[CompiledTactic]] = None,
+    raise_fills: bool = True,
+    raise_generics: bool = False,
+) -> RaisingStats:
+    pass_ = RaiseAffineToLinalgPass(tactics, raise_fills, raise_generics)
+    pass_.run(module, Context())
+    return pass_.stats

@@ -1,0 +1,226 @@
+"""A miniature TableGen: records, template instantiation and backends.
+
+TableGen files are only *containers* of domain-specific information —
+they have no meaning without a backend (§II).  Here the records are
+:class:`~repro.tactics.tds.TacticRecord` instances; the
+:class:`TableGenBackend` interprets them at "compile time" and
+generates the matchers and builders (the Python analogue of the C++
+declarations the paper's backend emits).  ``emit_python`` produces the
+generated code as source text — the moral equivalent of Listing 7.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from .tdl.ast import TdlSyntaxError
+from .tdl.parser import _TdlParser
+from .tds import BUILDER_KINDS, BuilderSpec, TacticRecord
+
+
+class TableGenError(TdlSyntaxError):
+    pass
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+
+_DEF_RE = re.compile(
+    r"def\s+(?P<name>[A-Za-z_][A-Za-z_0-9]*)\s*:\s*Tactic\s*<", re.MULTILINE
+)
+
+
+def _find_matching(source: str, open_pos: int, open_ch: str, close_ch: str) -> int:
+    depth = 0
+    for i in range(open_pos, len(source)):
+        if source[i] == open_ch:
+            depth += 1
+        elif source[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+    raise TableGenError(f"unbalanced {open_ch}...{close_ch}")
+
+
+def parse_tablegen(source: str) -> List[TacticRecord]:
+    records: List[TacticRecord] = []
+    for match in _DEF_RE.finditer(source):
+        name = match.group("name")
+        open_angle = match.end() - 1
+        close_angle = _find_matching(source, open_angle, "<", ">")
+        body = source[open_angle + 1:close_angle]
+        records.append(_parse_tactic_body(name, body))
+    if not records and source.strip():
+        raise TableGenError("no Tactic records found")
+    return records
+
+
+def _parse_tactic_body(name: str, body: str) -> TacticRecord:
+    # Split "pattern, [builders]" at the top-level '[',
+    bracket = body.find("[")
+    if bracket == -1:
+        raise TableGenError(f"{name}: missing builder list")
+    pattern_text = body[:bracket].rstrip().rstrip(",")
+    close = _find_matching(body, bracket, "[", "]")
+    builders_text = body[bracket + 1:close]
+    parser = _TdlParser(pattern_text)
+    pattern = parser.parse_statement()
+    builders = _parse_builder_list(builders_text)
+    return TacticRecord(name, pattern, builders)
+
+
+_BUILDER_RE = re.compile(
+    r"(?P<kind>" + "|".join(BUILDER_KINDS) + r")\s*<"
+)
+
+
+def _parse_builder_list(text: str) -> List[BuilderSpec]:
+    builders: List[BuilderSpec] = []
+    for match in _BUILDER_RE.finditer(text):
+        kind = match.group("kind")
+        open_angle = match.end() - 1
+        close_angle = _find_matching(text, open_angle, "<", ">")
+        builders.append(
+            _parse_builder(kind, text[open_angle + 1:close_angle])
+        )
+    return builders
+
+
+def _parse_builder(kind: str, body: str) -> BuilderSpec:
+    ins = _parse_name_list(body, "In")
+    outs = _parse_name_list(body, "Out")
+    expr = _parse_expr(body)
+    dims = _parse_dims(body)
+    return BuilderSpec(kind, ins, outs, expr, dims)
+
+
+def _parse_name_list(body: str, tag: str) -> List[str]:
+    match = re.search(tag + r"\s*<\s*\[(?P<names>[^\]]*)\]\s*>", body)
+    if match is None:
+        raise TableGenError(f"builder missing {tag}<[...]>")
+    names = [n.strip() for n in match.group("names").split(",") if n.strip()]
+    return names
+
+
+def _parse_dims(body: str) -> Optional[List[List[str]]]:
+    match = re.search(r"Dims\s*<\s*\[", body)
+    if match is None:
+        return None
+    open_bracket = match.end() - 1
+    close_bracket = _find_matching(body, open_bracket, "[", "]")
+    inner = body[open_bracket + 1:close_bracket]
+    groups: List[List[str]] = []
+    pos = 0
+    while pos < len(inner):
+        ch = inner[pos]
+        if ch == "{":
+            end = _find_matching(inner, pos, "{", "}")
+            groups.append(
+                [x.strip() for x in inner[pos + 1:end].split(",") if x.strip()]
+            )
+            pos = end + 1
+        elif ch.isalnum() or ch == "_":
+            end = pos
+            while end < len(inner) and (inner[end].isalnum() or inner[end] == "_"):
+                end += 1
+            groups.append([inner[pos:end]])
+            pos = end
+        else:
+            pos += 1
+    return groups
+
+
+def _parse_expr(body: str):
+    match = re.search(r"Expr\s*<\s*\{", body)
+    if match is None:
+        return None
+    open_brace = match.end() - 1
+    close_brace = _find_matching(body, open_brace, "{", "}")
+    inner = body[open_brace + 1:close_brace]
+    if "{" in inner:
+        # reassociation groups: {{0, 1}, 2}
+        groups: List[List[int]] = []
+        pos = 0
+        while pos < len(inner):
+            ch = inner[pos]
+            if ch == "{":
+                end = _find_matching(inner, pos, "{", "}")
+                groups.append(
+                    [int(x) for x in inner[pos + 1:end].split(",") if x.strip()]
+                )
+                pos = end + 1
+            elif ch.isdigit():
+                end = pos
+                while end < len(inner) and inner[end].isdigit():
+                    end += 1
+                groups.append([int(inner[pos:end])])
+                pos = end
+            else:
+                pos += 1
+        return groups
+    return [int(x) for x in inner.split(",") if x.strip()]
+
+
+# ----------------------------------------------------------------------
+# Backend
+# ----------------------------------------------------------------------
+
+
+class TableGenBackend:
+    """Interprets TDS records and generates matchers/builders.
+
+    ``compile`` produces executable :class:`CompiledTactic` objects;
+    ``emit_python`` renders the generated matcher code as source text
+    for inspection (the analogue of the emitted C++ in Listing 7).
+    """
+
+    def compile(self, records) -> list:
+        from .compiled import compile_tactic
+
+        return [compile_tactic(record) for record in records]
+
+    def emit_python(self, record: TacticRecord) -> str:
+        pattern = record.pattern
+        loops = pattern.index_vars()
+        lines: List[str] = []
+        lines.append(f"# generated from TDS record {record.name}")
+        nest = "For(" * len(loops) + "access_callback" + ")" * len(loops)
+        lines.append(f"structural = {nest}")
+        lines.append("")
+        lines.append("def access_callback(body):")
+        lines.append("    with AccessPatternContext() as pctx:")
+        for var in loops:
+            lines.append(f"        _{var} = m_Placeholder()")
+        tensors: List[str] = []
+        for access in [pattern.lhs, *pattern.rhs]:
+            if access.tensor not in tensors:
+                tensors.append(access.tensor)
+        for tensor in tensors:
+            lines.append(f"        _{tensor} = m_ArrayPlaceholder()")
+        lhs = pattern.lhs
+        subs = ", ".join(f"_{i}" for i in lhs.simple_index_names())
+        lines.append(
+            f"        store = m_Op(AffineStoreOp, _{lhs.tensor}({subs}))"
+        )
+        if pattern.op == "+=" and len(pattern.rhs) == 2:
+            r0, r1 = pattern.rhs
+            s0 = ", ".join(f"_{i}" for i in r0.index_vars())
+            s1 = ", ".join(f"_{i}" for i in r1.index_vars())
+            lines.append(
+                f"        body_matcher = m_Op(AddFOp, "
+                f"m_Op(AffineLoadOp, _{lhs.tensor}({subs})), "
+                f"m_Op(MulFOp, m_Op(AffineLoadOp, _{r0.tensor}({s0})), "
+                f"m_Op(AffineLoadOp, _{r1.tensor}({s1}))))"
+            )
+        else:
+            r0 = pattern.rhs[0]
+            s0 = ", ".join(f"_{i}" for i in r0.index_vars())
+            lines.append(
+                f"        body_matcher = m_Op(AffineLoadOp, _{r0.tensor}({s0}))"
+            )
+        lines.append(
+            "        return match_block_accesses(body, store, body_matcher)"
+        )
+        return "\n".join(lines)

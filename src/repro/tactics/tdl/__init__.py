@@ -1,0 +1,11 @@
+"""TDL — the Tactics Description Language (§III-A, §IV)."""
+
+from .ast import (  # noqa: F401
+    TdlAccess,
+    TdlIndexExpr,
+    TdlStatement,
+    TdlSyntaxError,
+    TdlTactic,
+)
+from .parser import parse_tdl  # noqa: F401
+from .frontend import tdl_to_tds  # noqa: F401

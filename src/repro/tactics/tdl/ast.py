@@ -1,0 +1,192 @@
+"""AST for the Tactics Description Language.
+
+TDL borrows its pattern/replacement syntax from Tensor Comprehensions
+(Einstein index notation)::
+
+    def TTGT {
+      pattern
+        C(a,b,c) += A(a,c,d) * B(d,b)
+      builder
+        D(f,b) = C(a,b,c) where f = a * c
+        E(f,d) = A(a,c,d) where f = a * c
+        D(f,b) += E(f,d) * B(d,b)
+        C(a,b,c) = D(f,b) where f = a * c
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class TdlSyntaxError(Exception):
+    def __init__(self, message: str, line: Optional[int] = None):
+        suffix = f" (line {line})" if line is not None else ""
+        super().__init__(message + suffix)
+
+
+class TdlIndexExpr:
+    """An affine index expression: ``sum(coeff_i * var_i) + constant``.
+
+    The common case is a bare index variable (one term, coeff 1).
+    """
+
+    def __init__(self, terms: Sequence[Tuple[str, int]], constant: int = 0):
+        self.terms: List[Tuple[str, int]] = [
+            (v, c) for v, c in terms if c != 0
+        ]
+        self.constant = constant
+
+    @staticmethod
+    def var(name: str) -> "TdlIndexExpr":
+        return TdlIndexExpr([(name, 1)])
+
+    @property
+    def is_simple_var(self) -> bool:
+        return (
+            len(self.terms) == 1
+            and self.terms[0][1] == 1
+            and self.constant == 0
+        )
+
+    @property
+    def single_var(self) -> str:
+        if not self.is_simple_var:
+            raise TdlSyntaxError(f"index expression {self} is not a bare var")
+        return self.terms[0][0]
+
+    def variables(self) -> List[str]:
+        return [v for v, _ in self.terms]
+
+    def __str__(self) -> str:
+        parts = []
+        for var, coeff in self.terms:
+            parts.append(var if coeff == 1 else f"{coeff}*{var}")
+        if self.constant or not parts:
+            parts.append(str(self.constant))
+        return " + ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"TdlIndexExpr({self})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, TdlIndexExpr)
+            and sorted(self.terms) == sorted(other.terms)
+            and self.constant == other.constant
+        )
+
+
+class TdlAccess:
+    """``A(a, c, d)`` — a tensor access in index notation."""
+
+    def __init__(self, tensor: str, indices: Sequence[TdlIndexExpr]):
+        self.tensor = tensor
+        self.indices = list(indices)
+
+    @property
+    def rank(self) -> int:
+        return len(self.indices)
+
+    def index_vars(self) -> List[str]:
+        """Distinct variables, in order of first appearance."""
+        seen: List[str] = []
+        for idx in self.indices:
+            for var in idx.variables():
+                if var not in seen:
+                    seen.append(var)
+        return seen
+
+    def simple_index_names(self) -> List[str]:
+        return [idx.single_var for idx in self.indices]
+
+    def __str__(self) -> str:
+        return f"{self.tensor}({', '.join(map(str, self.indices))})"
+
+    def __repr__(self) -> str:
+        return f"TdlAccess({self})"
+
+
+class TdlStatement:
+    """``lhs op rhs_0 * rhs_1 * ... [where v = a * b, ...]``.
+
+    ``op`` is '=' (copy/init) or '+=' (accumulation / contraction).
+    ``where`` maps a grouped index variable to the ordered list of
+    variables it flattens.
+    """
+
+    def __init__(
+        self,
+        lhs: TdlAccess,
+        op: str,
+        rhs: Sequence[TdlAccess],
+        where: Optional[Dict[str, List[str]]] = None,
+    ):
+        if op not in ("=", "+="):
+            raise TdlSyntaxError(f"unsupported statement operator {op!r}")
+        self.lhs = lhs
+        self.op = op
+        self.rhs = list(rhs)
+        self.where: Dict[str, List[str]] = dict(where or {})
+
+    @property
+    def is_contraction(self) -> bool:
+        return self.op == "+=" and len(self.rhs) == 2
+
+    @property
+    def is_copy(self) -> bool:
+        return self.op == "=" and len(self.rhs) == 1
+
+    def index_vars(self) -> List[str]:
+        """All distinct *loop* index variables (where-vars expanded)."""
+        seen: List[str] = []
+
+        def add(var: str) -> None:
+            if var in self.where:
+                for sub in self.where[var]:
+                    add(sub)
+            elif var not in seen:
+                seen.append(var)
+
+        for access in [self.lhs, *self.rhs]:
+            for var in access.index_vars():
+                add(var)
+        return seen
+
+    def __str__(self) -> str:
+        rhs = " * ".join(map(str, self.rhs))
+        text = f"{self.lhs} {self.op} {rhs}"
+        if self.where:
+            clauses = ", ".join(
+                f"{v} = {' * '.join(group)}" for v, group in self.where.items()
+            )
+            text += f" where {clauses}"
+        return text
+
+    def __repr__(self) -> str:
+        return f"TdlStatement({self})"
+
+
+class TdlTactic:
+    """A named tactic: one pattern, a list of builder statements."""
+
+    def __init__(
+        self,
+        name: str,
+        pattern: TdlStatement,
+        builders: Sequence[TdlStatement],
+    ):
+        self.name = name
+        self.pattern = pattern
+        self.builders = list(builders)
+
+    def __str__(self) -> str:
+        lines = [f"def {self.name} {{", "  pattern", f"    {self.pattern}"]
+        lines.append("  builder")
+        for stmt in self.builders:
+            lines.append(f"    {stmt}")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"TdlTactic({self.name})"

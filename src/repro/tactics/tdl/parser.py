@@ -1,0 +1,188 @@
+"""Parser for the Tactics Description Language (grammar in Fig. 4).
+
+Accepted forms::
+
+    def NAME {
+      pattern
+        <stmt>
+      builder
+        <stmt>*
+    }
+
+    def NAME { pattern = builder <stmt> }      # pattern doubles as builder
+
+A statement is ``access ('='|'+=') access {'*' access} [where ...]``
+with accesses in Einstein index notation; index expressions may be
+bare variables, sums (``y + kh``) and constant-scaled/shifted forms
+(``2*i + 1``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from .ast import (
+    TdlAccess,
+    TdlIndexExpr,
+    TdlStatement,
+    TdlSyntaxError,
+    TdlTactic,
+)
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<comment>//[^\n]*)|(?P<op>\+=|[(){}=*+,\-])|"
+    r"(?P<num>\d+)|(?P<id>[A-Za-z_][A-Za-z_0-9]*))"
+)
+
+
+def _tokenize(source: str) -> List[Tuple[str, str, int]]:
+    tokens = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        newline = source.find("\n", pos)
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            remaining = source[pos:].strip()
+            if not remaining:
+                break
+            raise TdlSyntaxError(f"bad TDL input near {remaining[:20]!r}", line)
+        line += source.count("\n", pos, match.end())
+        kind = match.lastgroup
+        if kind != "comment":
+            tokens.append((kind, match.group(kind), line))
+        pos = match.end()
+    tokens.append(("eof", "", line))
+    return tokens
+
+
+class _TdlParser:
+    def __init__(self, source: str):
+        self.tokens = _tokenize(source)
+        self.pos = 0
+
+    def peek(self) -> Tuple[str, str, int]:
+        return self.tokens[self.pos]
+
+    def next(self) -> Tuple[str, str, int]:
+        tok = self.tokens[self.pos]
+        if tok[0] != "eof":
+            self.pos += 1
+        return tok
+
+    def at(self, text: str) -> bool:
+        return self.peek()[1] == text
+
+    def accept(self, text: str) -> bool:
+        if self.at(text):
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, text: str):
+        kind, got, line = self.next()
+        if got != text:
+            raise TdlSyntaxError(f"expected {text!r}, got {got!r}", line)
+
+    def expect_id(self) -> str:
+        kind, text, line = self.next()
+        if kind != "id":
+            raise TdlSyntaxError(f"expected identifier, got {text!r}", line)
+        return text
+
+    # ------------------------------------------------------------------
+
+    def parse_file(self) -> List[TdlTactic]:
+        tactics = []
+        while self.peek()[0] != "eof":
+            tactics.append(self.parse_tactic())
+        return tactics
+
+    def parse_tactic(self) -> TdlTactic:
+        self.expect("def")
+        name = self.expect_id()
+        self.expect("{")
+        self.expect("pattern")
+        if self.accept("="):
+            # "pattern = builder <stmt>": one statement for both roles.
+            self.expect("builder")
+            stmt = self.parse_statement()
+            self.expect("}")
+            return TdlTactic(name, stmt, [stmt])
+        pattern = self.parse_statement()
+        builders: List[TdlStatement] = []
+        if self.accept("builder"):
+            while not self.at("}"):
+                builders.append(self.parse_statement())
+        self.expect("}")
+        return TdlTactic(name, pattern, builders)
+
+    def parse_statement(self) -> TdlStatement:
+        lhs = self.parse_access()
+        kind, op, line = self.next()
+        if op not in ("=", "+="):
+            raise TdlSyntaxError(f"expected '=' or '+=', got {op!r}", line)
+        rhs = [self.parse_access()]
+        while self.accept("*"):
+            rhs.append(self.parse_access())
+        where = {}
+        if self.accept("where"):
+            while True:
+                var = self.expect_id()
+                self.expect("=")
+                group = [self.expect_id()]
+                while self.accept("*"):
+                    group.append(self.expect_id())
+                where[var] = group
+                if not self.accept(","):
+                    break
+        return TdlStatement(lhs, op, rhs, where)
+
+    def parse_access(self) -> TdlAccess:
+        tensor = self.expect_id()
+        self.expect("(")
+        indices = []
+        if not self.at(")"):
+            indices.append(self.parse_index_expr())
+            while self.accept(","):
+                indices.append(self.parse_index_expr())
+        self.expect(")")
+        return TdlAccess(tensor, indices)
+
+    def parse_index_expr(self) -> TdlIndexExpr:
+        terms: List[Tuple[str, int]] = []
+        constant = 0
+        sign = 1
+        while True:
+            kind, text, line = self.next()
+            if kind == "num":
+                if self.accept("*"):
+                    var = self.expect_id()
+                    terms.append((var, sign * int(text)))
+                else:
+                    constant += sign * int(text)
+            elif kind == "id":
+                coeff = sign
+                if self.accept("*"):
+                    kind2, text2, line2 = self.next()
+                    if kind2 != "num":
+                        raise TdlSyntaxError(
+                            "index products must have a constant factor", line2
+                        )
+                    coeff = sign * int(text2)
+                terms.append((text, coeff))
+            else:
+                raise TdlSyntaxError(f"bad index expression at {text!r}", line)
+            if self.accept("+"):
+                sign = 1
+            elif self.accept("-"):
+                sign = -1
+            else:
+                break
+        return TdlIndexExpr(terms, constant)
+
+
+def parse_tdl(source: str) -> List[TdlTactic]:
+    """Parse TDL source into tactic definitions."""
+    return _TdlParser(source).parse_file()

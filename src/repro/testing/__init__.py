@@ -1,0 +1,3 @@
+"""Testing utilities (mini-FileCheck for IR golden tests)."""
+
+from .filecheck import FileCheckError, filecheck  # noqa: F401

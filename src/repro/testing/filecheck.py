@@ -1,0 +1,211 @@
+"""A miniature FileCheck: pattern-based verification of textual IR.
+
+LLVM/MLIR test suites verify compiler output with FileCheck directives;
+this module provides the subset needed for IR golden tests here:
+
+  * ``CHECK: <pattern>``        — match somewhere at/after the cursor
+  * ``CHECK-NEXT: <pattern>``   — match on the immediately next line
+  * ``CHECK-NOT: <pattern>``    — must not appear before the next match
+  * ``CHECK-LABEL: <pattern>``  — like CHECK, but re-anchors the scan
+  * ``CHECK-DAG: <pattern>``    — group of lines in any order
+  * ``{{regex}}``               — inline regular expressions
+  * ``%[[NAME:...]]`` / ``%[[NAME]]`` — capture and reuse SSA names
+
+Usage::
+
+    filecheck(ir_text, '''
+      CHECK-LABEL: func @gemm
+      CHECK: %[[FILL:[0-9]+]] = std.constant 0.0
+      CHECK-NEXT: linalg.fill(%[[FILL]],
+      CHECK-NOT: affine.for
+      CHECK: linalg.matmul
+    ''')
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+
+class FileCheckError(AssertionError):
+    pass
+
+
+_DIRECTIVE_RE = re.compile(
+    r"^\s*(?:(?://|#)\s*)?"
+    r"(?P<kind>CHECK(?:-NEXT|-NOT|-LABEL|-DAG)?):\s?(?P<pattern>.*)$"
+)
+
+
+def _parse_directives(check_text: str) -> List[Tuple[str, str]]:
+    directives = []
+    for line in check_text.splitlines():
+        if not line.strip():
+            continue
+        match = _DIRECTIVE_RE.match(line)
+        if match is None:
+            raise FileCheckError(f"not a FileCheck directive: {line!r}")
+        directives.append((match.group("kind"), match.group("pattern").rstrip()))
+    if not directives:
+        raise FileCheckError("no CHECK directives given")
+    return directives
+
+
+def _compile_pattern(pattern: str, captures: Dict[str, str]) -> re.Pattern:
+    """Translate a CHECK pattern into a regex, resolving captures."""
+    out: List[str] = []
+    pos = 0
+    while pos < len(pattern):
+        regex_start = pattern.find("{{", pos)
+        capture_start = pattern.find("[[", pos)
+        candidates = [c for c in (regex_start, capture_start) if c != -1]
+        if not candidates:
+            out.append(re.escape(pattern[pos:]))
+            break
+        nxt = min(candidates)
+        out.append(re.escape(pattern[pos:nxt]))
+        if nxt == regex_start:
+            end = pattern.find("}}", nxt)
+            if end == -1:
+                raise FileCheckError(f"unterminated {{{{...}}}} in {pattern!r}")
+            out.append("(?:" + pattern[nxt + 2:end] + ")")
+            pos = end + 2
+        else:
+            end = pattern.find("]]", nxt)
+            if end == -1:
+                raise FileCheckError(f"unterminated [[...]] in {pattern!r}")
+            body = pattern[nxt + 2:end]
+            if ":" in body:
+                name, _, regex = body.partition(":")
+                out.append(f"(?P<cap_{name}>{regex})")
+            else:
+                if body not in captures:
+                    raise FileCheckError(
+                        f"use of undefined capture [[{body}]]"
+                    )
+                out.append(re.escape(captures[body]))
+            pos = end + 2
+    return re.compile("".join(out))
+
+
+def _record_captures(match: re.Match, captures: Dict[str, str]) -> None:
+    for key, value in (match.groupdict() or {}).items():
+        if key.startswith("cap_") and value is not None:
+            captures[key[4:]] = value
+
+
+def filecheck(text: str, checks: str) -> None:
+    """Verify ``text`` against FileCheck ``checks``; raises
+    :class:`FileCheckError` with a helpful message on mismatch."""
+    lines = text.splitlines()
+    directives = _parse_directives(checks)
+    captures: Dict[str, str] = {}
+    cursor = 0
+    pending_not: List[str] = []
+    index = 0
+    while index < len(directives):
+        kind, pattern = directives[index]
+        if kind == "CHECK-NOT":
+            pending_not.append(pattern)
+            index += 1
+            continue
+        if kind == "CHECK-DAG":
+            group = []
+            while index < len(directives) and directives[index][0] == "CHECK-DAG":
+                group.append(directives[index][1])
+                index += 1
+            cursor = _match_dag(lines, cursor, group, captures, pending_not)
+            pending_not = []
+            continue
+        cursor = _match_one(
+            lines, cursor, kind, pattern, captures, pending_not
+        )
+        pending_not = []
+        index += 1
+    # trailing CHECK-NOTs apply to the rest of the input
+    for pattern in pending_not:
+        regex = _compile_pattern(pattern, captures)
+        for line_no in range(cursor, len(lines)):
+            if regex.search(lines[line_no]):
+                raise FileCheckError(
+                    f"CHECK-NOT: {pattern!r} found at line "
+                    f"{line_no + 1}: {lines[line_no]!r}"
+                )
+
+
+def _match_one(
+    lines: List[str],
+    cursor: int,
+    kind: str,
+    pattern: str,
+    captures: Dict[str, str],
+    pending_not: List[str],
+) -> int:
+    regex = _compile_pattern(pattern, captures)
+    if kind == "CHECK-NEXT":
+        if cursor >= len(lines):
+            raise FileCheckError(f"CHECK-NEXT: {pattern!r}: no next line")
+        match = regex.search(lines[cursor])
+        if match is None:
+            raise FileCheckError(
+                f"CHECK-NEXT: {pattern!r} did not match line "
+                f"{cursor + 1}: {lines[cursor]!r}"
+            )
+        _check_nots(lines, cursor, cursor, captures, pending_not)
+        _record_captures(match, captures)
+        return cursor + 1
+    # CHECK and CHECK-LABEL scan forward.
+    for line_no in range(cursor, len(lines)):
+        match = regex.search(lines[line_no])
+        if match is not None:
+            _check_nots(lines, cursor, line_no, captures, pending_not)
+            _record_captures(match, captures)
+            return line_no + 1
+    raise FileCheckError(
+        f"{kind}: {pattern!r} not found after line {cursor}"
+    )
+
+
+def _check_nots(
+    lines: List[str],
+    start: int,
+    end: int,
+    captures: Dict[str, str],
+    pending_not: List[str],
+) -> None:
+    for pattern in pending_not:
+        regex = _compile_pattern(pattern, captures)
+        for line_no in range(start, end):
+            if regex.search(lines[line_no]):
+                raise FileCheckError(
+                    f"CHECK-NOT: {pattern!r} found at line "
+                    f"{line_no + 1}: {lines[line_no]!r}"
+                )
+
+
+def _match_dag(
+    lines: List[str],
+    cursor: int,
+    patterns: List[str],
+    captures: Dict[str, str],
+    pending_not: List[str],
+) -> int:
+    remaining = list(patterns)
+    furthest = cursor
+    while remaining:
+        pattern = remaining[0]
+        regex = _compile_pattern(pattern, captures)
+        found = None
+        for line_no in range(cursor, len(lines)):
+            match = regex.search(lines[line_no])
+            if match is not None:
+                found = (line_no, match)
+                break
+        if found is None:
+            raise FileCheckError(f"CHECK-DAG: {pattern!r} not found")
+        _record_captures(found[1], captures)
+        furthest = max(furthest, found[0] + 1)
+        remaining.pop(0)
+    _check_nots(lines, cursor, furthest - 1, captures, pending_not)
+    return furthest

@@ -1,0 +1,25 @@
+"""IR transformations: canonicalization, lowering, tiling, fusion."""
+
+from .canonicalize import CanonicalizePass, canonicalize  # noqa: F401
+from .distribution import LoopDistributionPass, distribute_loops  # noqa: F401
+from .lowering import (  # noqa: F401
+    AffineToSCFPass,
+    ExpandAffineMatmulPass,
+    LinalgToAffinePass,
+    LinalgToBlasPass,
+    LowerBlasToLLVMPass,
+    SCFToLLVMPass,
+    expand_affine_expr,
+    lower_affine_to_scf,
+    lower_linalg_to_affine,
+    lower_scf_to_llvm,
+    lower_to_llvm,
+    lowering_pipeline,
+)
+from .tiling import TileLoopNestPass, TilingError, tile_perfect_nest  # noqa: F401
+from .fusion import can_fuse, fuse_sibling_loops, greedy_fuse  # noqa: F401
+from .delinearization import (  # noqa: F401
+    DelinearizationPass,
+    delinearize_accesses,
+)
+from .promotion import SCFToAffinePass, promote_scf_to_affine  # noqa: F401

@@ -1,0 +1,104 @@
+"""Canonicalization: constant folding, dead-code elimination, and
+removal of empty or zero-trip loops."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..dialects import std
+from ..dialects.affine import AffineApplyOp, AffineForOp
+from ..ir import FunctionPass, Operation
+
+#: Ops with no side effects whose unused results can be deleted.
+_PURE_OPS = {
+    "std.constant",
+    "std.addf",
+    "std.subf",
+    "std.mulf",
+    "std.divf",
+    "std.maxf",
+    "std.addi",
+    "std.subi",
+    "std.muli",
+    "std.cmpi",
+    "std.index_cast",
+    "affine.load",
+    "affine.apply",
+}
+
+
+def _is_dead(op: Operation) -> bool:
+    if op.name not in _PURE_OPS:
+        return False
+    return all(not r.is_used() for r in op.results)
+
+
+def _fold(op: Operation) -> Optional[Union[int, float]]:
+    """Return the constant value of ``op`` if all operands are constants."""
+    if isinstance(op, std.BinaryArithOp):
+        values = []
+        for operand in op.operands:
+            def_op = operand.defining_op
+            if not isinstance(def_op, std.ConstantOp):
+                return None
+            values.append(def_op.value)
+        return type(op).PYTHON_FUNC(*values)
+    if isinstance(op, AffineApplyOp):
+        dims = []
+        for operand in op.operands:
+            def_op = operand.defining_op
+            if not isinstance(def_op, std.ConstantOp):
+                return None
+            dims.append(int(def_op.value))
+        return op.map.evaluate(dims)[0]
+    return None
+
+
+def _is_empty_loop(op: Operation) -> bool:
+    if not isinstance(op, AffineForOp):
+        return False
+    trip = op.constant_trip_count()
+    if trip == 0:
+        return True
+    return not op.ops_in_body()
+
+
+def canonicalize(root: Operation) -> int:
+    """Fold constants and strip dead code until fixpoint.
+
+    Returns the number of simplifications applied.
+    """
+    total = 0
+    changed = True
+    while changed:
+        changed = False
+        for op in list(root.walk()):
+            if op is root or op.parent_block is None:
+                continue
+            node = op
+            while node is not None and node is not root:
+                node = node.parent_op
+            if node is None:
+                continue  # already detached this sweep
+            if _is_dead(op) or _is_empty_loop(op):
+                op.erase()
+                total += 1
+                changed = True
+                continue
+            folded = _fold(op)
+            if folded is not None:
+                const = std.ConstantOp.create(folded, op.results[0].type)
+                block = op.parent_block
+                block.insert(block.operations.index(op), const)
+                op.replace_all_uses_with([const.result])
+                op.erase()
+                total += 1
+                changed = True
+    return total
+
+
+class CanonicalizePass(FunctionPass):
+    name = "canonicalize"
+
+    def run_on_function(self, func, context) -> None:
+        canonicalize(func)

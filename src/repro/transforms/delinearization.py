@@ -1,0 +1,221 @@
+"""Optimistic delinearization of 1-d (linearized) array accesses.
+
+The paper's Figure 8 evaluation misses the Darknet GEMM because its
+accesses are linearized (``C[i*ldc + j]``) while the tactic emits 2-d
+matchers; the authors point to a delinearization pass (Grosser et al.,
+ICS'15) as the fix.  This module implements that future-work item: it
+recovers a multi-dimensional view of flat buffers from the stride
+structure of their affine accesses, rewriting
+
+    %0 = affine.load %A[%i * 256 + %k] : memref<65536xf32>
+
+into
+
+    %0 = affine.load %A[%i, %k] : memref<256x256xf32>
+
+after which the unchanged 2-d GEMM tactic matches
+(`benchmarks/bench_ablation_delinearization.py`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.accesses import AccessFunction, MemoryAccess, collect_accesses
+from ..dialects.affine import AffineForOp, AffineLoadOp, AffineStoreOp
+from ..ir import (
+    AffineMap,
+    Builder,
+    DYNAMIC,
+    FunctionPass,
+    FunctionType,
+    InsertionPoint,
+    MemRefType,
+    TypeAttr,
+    Value,
+)
+from ..ir import affine_expr as ae
+
+
+def _iv_extent(iv: Value) -> Optional[int]:
+    """Trip count of the loop defining an induction variable."""
+    owner = iv.owner.parent_op if hasattr(iv, "owner") else None
+    if isinstance(owner, AffineForOp):
+        return owner.constant_trip_count()
+    return None
+
+
+def _stride_chain(accesses: List[MemoryAccess]) -> Optional[List[int]]:
+    """Distinct coefficients across all 1-d accesses, as a divisibility
+    chain ending at 1 (innermost stride)."""
+    strides = set()
+    for access in accesses:
+        sub = access.subscripts[0]
+        for coeff in sub.coeffs.values():
+            if coeff <= 0:
+                return None
+            strides.add(coeff)
+    if not strides:
+        return None
+    chain = sorted(strides, reverse=True)
+    if chain[-1] != 1:
+        return None
+    for outer, inner in zip(chain, chain[1:]):
+        if outer % inner != 0:
+            return None
+    if len(chain) < 2:
+        return None
+    return chain
+
+
+def _decompose(
+    sub: AccessFunction, chain: List[int], dims: List[int]
+) -> Optional[List[Tuple[Dict[Value, int], int]]]:
+    """Split one linear subscript into per-level (coeffs, constant)."""
+    levels: List[Tuple[Dict[Value, int], int]] = []
+    remaining_const = sub.constant
+    if remaining_const < 0:
+        return None
+    for level, stride in enumerate(chain):
+        coeffs = {
+            iv: coeff // stride
+            for iv, coeff in sub.coeffs.items()
+            if coeff == stride
+        }
+        const = remaining_const // stride
+        remaining_const -= const * stride
+        if level > 0:
+            # Optimistic in-bounds check: each level's max value must
+            # stay below the recovered dimension size.
+            bound = const
+            for iv, coeff in coeffs.items():
+                extent = _iv_extent(iv)
+                if extent is None:
+                    return None
+                bound += coeff * (extent - 1)
+            if bound >= dims[level]:
+                return None
+        levels.append((coeffs, const))
+    covered = set()
+    for coeffs, _ in levels:
+        covered.update(id(iv) for iv in coeffs)
+    if covered != {id(iv) for iv in sub.coeffs}:
+        return None  # some IV's coefficient matched no stride level
+    return levels
+
+
+def _recover_shape(
+    accesses: List[MemoryAccess], chain: List[int], flat_size: int
+) -> Optional[List[int]]:
+    dims = [0] * len(chain)
+    for level in range(1, len(chain)):
+        dims[level] = chain[level - 1] // chain[level]
+    if flat_size != DYNAMIC and flat_size > 0:
+        leading, rem = divmod(flat_size, chain[0])
+        if rem != 0:
+            return None
+        dims[0] = leading
+    else:
+        # Derive the leading extent from the loops driving that level.
+        best = 0
+        for access in accesses:
+            sub = access.subscripts[0]
+            total = sub.constant // chain[0]
+            for iv, coeff in sub.coeffs.items():
+                if coeff == chain[0]:
+                    extent = _iv_extent(iv)
+                    if extent is None:
+                        return None
+                    total += extent - 1
+            best = max(best, total + 1)
+        dims[0] = best
+    return dims
+
+
+def delinearize_buffer(buffer: Value, func) -> bool:
+    """Try to delinearize every access to a 1-d ``buffer``; rewrites the
+    buffer's type and all its accesses on success."""
+    if not isinstance(buffer.type, MemRefType) or buffer.type.rank != 1:
+        return False
+    accesses = [
+        a
+        for a in collect_accesses(func)
+        if a.memref is buffer
+    ]
+    if not accesses:
+        return False
+    if any(len(a.subscripts) != 1 for a in accesses):
+        return False
+    chain = _stride_chain(accesses)
+    if chain is None:
+        return False
+    dims = _recover_shape(accesses, chain, buffer.type.shape[0])
+    if dims is None or any(d <= 0 for d in dims):
+        return False
+    decompositions = []
+    for access in accesses:
+        levels = _decompose(access.subscripts[0], chain, dims)
+        if levels is None:
+            return False
+        decompositions.append(levels)
+
+    # Commit: retype the buffer and rewrite each access.
+    buffer.type = MemRefType(dims, buffer.type.element_type)
+    _refresh_function_type(func)
+    for access, levels in zip(accesses, decompositions):
+        _rewrite_access(access, levels)
+    return True
+
+
+def _refresh_function_type(func) -> None:
+    arg_types = [a.type for a in func.entry_block.arguments]
+    results = func.function_type.results
+    func.attributes["function_type"] = TypeAttr(
+        FunctionType(arg_types, results)
+    )
+
+
+def _rewrite_access(access: MemoryAccess, levels) -> None:
+    op = access.op
+    operands: List[Value] = []
+    exprs: List[ae.AffineExpr] = []
+    for coeffs, const in levels:
+        expr: ae.AffineExpr = ae.constant(const)
+        for iv, coeff in coeffs.items():
+            if iv not in operands:
+                operands.append(iv)
+            expr = ae.dim(operands.index(iv)) * coeff + expr
+        exprs.append(expr)
+    map_ = AffineMap(len(operands), 0, exprs)
+    builder = Builder(InsertionPoint.before(op))
+    if isinstance(op, AffineLoadOp):
+        new_op = builder.insert(
+            AffineLoadOp.create(op.memref, operands, map_)
+        )
+        op.replace_all_uses_with([new_op.result])
+        op.erase()
+    else:
+        assert isinstance(op, AffineStoreOp)
+        builder.insert(
+            AffineStoreOp.create(op.value, op.memref, operands, map_)
+        )
+        op.erase()
+
+
+def delinearize_accesses(func) -> int:
+    """Delinearize all eligible flat buffers in a function."""
+    count = 0
+    for arg in list(func.entry_block.arguments):
+        if delinearize_buffer(arg, func):
+            count += 1
+    for op in list(func.walk()):
+        if op.name == "std.alloc" and delinearize_buffer(op.results[0], func):
+            count += 1
+    return count
+
+
+class DelinearizationPass(FunctionPass):
+    name = "affine-delinearize"
+
+    def run_on_function(self, func, context) -> None:
+        delinearize_accesses(func)

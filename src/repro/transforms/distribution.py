@@ -1,0 +1,216 @@
+"""Loop distribution (fission).
+
+MET canonicalizes translated code by distributing loops so that each
+computational motif sits in its own loop nest — e.g. the
+initialization store and the multiply-accumulate reduction of a GEMM
+end up in separate nests, which is what the tactic matchers expect.
+
+Distribution of ``for i { S1; S2 }`` into ``for i { S1 }; for i { S2 }``
+is legal when no dependence flows backward (from a later statement
+group at iteration k to an earlier group at iteration k' > k).  We use
+a conservative test: a pair of accesses to the same buffer from two
+groups is harmless if both use the *identical* affine access function
+(dependence distance 0); any other may-conflict blocks distribution of
+that loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.accesses import MemoryAccess, collect_accesses
+from ..dialects.affine import AffineForOp
+from ..ir import FunctionPass, Operation
+
+_CLONABLE = ("std.constant",)
+
+
+def _statement_groups(ops: List[Operation]) -> List[List[Operation]]:
+    """Partition body ops into SSA-connected statement groups.
+
+    Cheap rematerializable ops (constants) do not glue groups together;
+    they are cloned into each group that uses them.
+    """
+    parent: Dict[int, int] = {}
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        parent[find(i)] = find(j)
+
+    indices = {id(op): i for i, op in enumerate(ops)}
+    for i in range(len(ops)):
+        parent[i] = i
+    for i, op in enumerate(ops):
+        if op.name in _CLONABLE:
+            continue
+        for nested in op.walk():
+            for result in nested.results:
+                for user in result.users:
+                    # climb to the sibling at this block level
+                    sibling = user
+                    while sibling is not None and id(sibling) not in indices:
+                        sibling = sibling.parent_op
+                    if sibling is not None and sibling.name not in _CLONABLE:
+                        union(i, indices[id(sibling)])
+
+    groups: Dict[int, List[Operation]] = {}
+    order: List[int] = []
+    for i, op in enumerate(ops):
+        if op.name in _CLONABLE and not any(
+            use.owner for r in op.results for use in r.uses
+        ):
+            continue
+        root = find(i)
+        if op.name in _CLONABLE:
+            continue  # constants assigned to groups during cloning
+        if root not in groups:
+            groups[root] = []
+            order.append(root)
+        groups[root].append(op)
+    return [groups[r] for r in order]
+
+
+def _group_accesses(group: List[Operation]) -> List[MemoryAccess]:
+    accesses: List[MemoryAccess] = []
+    for op in group:
+        accesses.extend(collect_accesses(op))
+    return accesses
+
+
+def _pair_is_safe(a: MemoryAccess, b: MemoryAccess, iv) -> bool:
+    """A conflicting pair is safe to distribute across when some
+    subscript dimension *pins* the distributed IV: both accesses index
+    that dimension by the identical function of ``iv`` alone, so equal
+    elements imply equal ``iv`` (dependence distance 0 on this loop).
+
+    A pair that does not use ``iv`` at all on either side conflicts at
+    every iteration pair, so it blocks distribution.
+    """
+    if a.rank != b.rank:
+        return False
+    for sa, sb in zip(a.subscripts, b.subscripts):
+        coeff = sa.coeff(iv)
+        if (
+            coeff != 0
+            and coeff == sb.coeff(iv)
+            and len(sa.coeffs) == 1
+            and len(sb.coeffs) == 1
+            and sa.constant == sb.constant
+        ):
+            return True
+    return False
+
+
+def _distribution_is_legal(groups: List[List[Operation]], iv) -> bool:
+    summaries = [_group_accesses(g) for g in groups]
+    for i in range(len(groups)):
+        for j in range(i + 1, len(groups)):
+            for a in summaries[i]:
+                for b in summaries[j]:
+                    if a.memref is not b.memref:
+                        continue
+                    if not (a.is_write or b.is_write):
+                        continue
+                    if not _pair_is_safe(a, b, iv):
+                        return False
+    return True
+
+
+def _distribute_one(loop: AffineForOp) -> bool:
+    """Split ``loop`` into one copy per statement group.  Returns True
+    if the loop was rewritten."""
+    body_ops = loop.ops_in_body()
+    groups = _statement_groups(body_ops)
+    if len(groups) <= 1:
+        return False
+    if not _distribution_is_legal(groups, loop.induction_var):
+        return False
+
+    parent_block = loop.parent_block
+    position = parent_block.operations.index(loop)
+    new_loops: List[AffineForOp] = []
+    for group in groups:
+        clone_map: Dict = {}
+        new_loop = AffineForOp.create(
+            loop.lower_bound_map,
+            loop.upper_bound_map,
+            loop.step,
+            loop.lb_operands,
+            loop.ub_operands,
+        )
+        clone_map[loop.induction_var] = new_loop.induction_var
+        insert_at = len(new_loop.body.operations) - 1  # before the yield
+        for op in group:
+            for operand in _external_clonables(op, body_ops):
+                if operand not in clone_map:
+                    cloned_const = operand.defining_op.clone({})
+                    new_loop.body.insert(insert_at, cloned_const)
+                    insert_at += 1
+                    clone_map[operand] = cloned_const.results[operand.index]
+            new_loop.body.insert(insert_at, op.clone(clone_map))
+            insert_at += 1
+        new_loops.append(new_loop)
+
+    for offset, new_loop in enumerate(new_loops):
+        parent_block.insert(position + 1 + offset, new_loop)
+    loop.drop_all_references()
+    # Detach nested ops' uses then erase the original loop wholesale.
+    for op in list(loop.body.operations):
+        op.drop_all_references()
+    parent_block.remove(loop)
+    return True
+
+
+def _external_clonables(op: Operation, body_ops: List[Operation]) -> List:
+    """Constant results defined in this body but belonging to no group."""
+    body_ids = {id(b) for b in body_ops}
+    found = []
+    for nested in op.walk():
+        for operand in nested.operands:
+            def_op = operand.defining_op
+            if (
+                def_op is not None
+                and def_op.name in _CLONABLE
+                and id(def_op) in body_ids
+                and operand not in found
+            ):
+                found.append(operand)
+    return found
+
+
+def distribute_loops(root: Operation) -> int:
+    """Recursively distribute every distributable loop under ``root``.
+
+    Returns the number of loops that were split.
+    """
+    num_split = 0
+    changed = True
+    while changed:
+        changed = False
+        for op in list(root.walk()):
+            if not isinstance(op, AffineForOp):
+                continue
+            if op.parent_block is None:
+                continue
+            attached = op
+            while attached is not None and attached is not root:
+                attached = attached.parent_op
+            if attached is None and op is not root:
+                continue
+            if _distribute_one(op):
+                num_split += 1
+                changed = True
+                break
+    return num_split
+
+
+class LoopDistributionPass(FunctionPass):
+    name = "affine-loop-distribution"
+
+    def run_on_function(self, func, context) -> None:
+        distribute_loops(func)

@@ -1,0 +1,110 @@
+"""Loop fusion of sibling loop nests.
+
+The inverse of distribution; used by the Pluto baseline's fusion
+heuristics (smartfuse / maxfuse / nofuse).  Fusing ``for i {S1}`` with
+a following ``for i {S2}`` is legal when every pair of conflicting
+accesses between the two bodies touches the same element in the same
+iteration (dependence distance 0) — the conservative mirror image of
+the distribution test.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..analysis.accesses import collect_accesses
+from ..dialects.affine import AffineForOp
+from ..ir import Operation
+
+
+def _same_iteration_space(a: AffineForOp, b: AffineForOp) -> bool:
+    return (
+        a.constant_lower_bound() is not None
+        and a.constant_lower_bound() == b.constant_lower_bound()
+        and a.constant_upper_bound() == b.constant_upper_bound()
+        and a.step == b.step
+    )
+
+
+def can_fuse(first: AffineForOp, second: AffineForOp) -> bool:
+    """Conservative legality: identical iteration spaces, matching band
+    depths, and only distance-0 conflicts (after the IVs are identified
+    with each other)."""
+    if not _same_iteration_space(first, second):
+        return False
+    from ..dialects.affine import perfect_nest
+
+    if len(perfect_nest(first)) != len(perfect_nest(second)):
+        return False
+    first_accesses = collect_accesses(first)
+    second_accesses = collect_accesses(second)
+    for a in first_accesses:
+        for b in second_accesses:
+            if a.memref is not b.memref or not (a.is_write or b.is_write):
+                continue
+            if not _conflict_is_aligned(a, b, first, second):
+                return False
+    return True
+
+
+def _conflict_is_aligned(a, b, first: AffineForOp, second: AffineForOp) -> bool:
+    """Check the two access functions agree once ``second``'s IV is
+    renamed to ``first``'s (recursively for inner loops this is an
+    approximation: inner IVs must match positionally)."""
+    if a.rank != b.rank:
+        return False
+    rename: Dict = {second.induction_var: first.induction_var}
+    # positionally align inner perfect-nest IVs as well
+    from ..dialects.affine import perfect_nest
+
+    first_band = perfect_nest(first)
+    second_band = perfect_nest(second)
+    for f_loop, s_loop in zip(first_band, second_band):
+        rename[s_loop.induction_var] = f_loop.induction_var
+    for sa, sb in zip(a.subscripts, b.subscripts):
+        renamed = {rename.get(v, v): c for v, c in sb.coeffs.items()}
+        if sa.coeffs != renamed or sa.constant != sb.constant:
+            return False
+    return True
+
+
+def fuse_sibling_loops(first: AffineForOp, second: AffineForOp) -> bool:
+    """Fuse ``second`` into ``first`` if legal.  Returns success."""
+    if first.parent_block is None or first.parent_block is not second.parent_block:
+        return False
+    ops = first.parent_block.operations
+    if ops.index(second) != ops.index(first) + 1:
+        return False
+    if not can_fuse(first, second):
+        return False
+    insert_at = len(first.body.operations) - 1
+    clone_map = {second.induction_var: first.induction_var}
+    second.induction_var.replace_all_uses_with(first.induction_var)
+    for op in second.ops_in_body():
+        second.body.remove(op)
+        first.body.insert(insert_at, op)
+        insert_at += 1
+    second.erase()
+    return True
+
+
+def greedy_fuse(root: Operation) -> int:
+    """Fuse adjacent fusable sibling loops under ``root`` (maxfuse)."""
+    fused = 0
+    changed = True
+    while changed:
+        changed = False
+        for op in list(root.walk()):
+            if not isinstance(op, AffineForOp) or op.parent_block is None:
+                continue
+            block = op.parent_block
+            idx = block.operations.index(op)
+            if idx + 1 < len(block.operations):
+                neighbor = block.operations[idx + 1]
+                if isinstance(neighbor, AffineForOp) and fuse_sibling_loops(
+                    op, neighbor
+                ):
+                    fused += 1
+                    changed = True
+                    break
+    return fused

@@ -1,0 +1,135 @@
+"""Rectangular loop tiling of perfect affine loop bands.
+
+Tiling ``for i in [0, N)`` by ``T`` produces::
+
+    affine.for %it = 0 to N step T
+      affine.for %i = %it to min(%it + T, N)
+
+All loops of the band are tiled jointly (strip-mine + interchange), so
+a depth-d band becomes 2d loops: d tile loops followed by d point
+loops.  This is the core transformation of both the Linalg default
+lowering ("Linalg primarily performs tiling", §V-B footnote) and our
+Pluto baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..dialects.affine import AffineForOp, perfect_nest
+from ..ir import AffineMap, IRError, Operation
+from ..ir import affine_expr as ae
+from ..ir.pass_manager import FunctionPass
+
+
+class TilingError(IRError):
+    pass
+
+
+def _check_band(band: Sequence[AffineForOp]) -> None:
+    for loop in band:
+        if not loop.has_constant_bounds():
+            raise TilingError("tiling requires constant loop bounds")
+        if loop.step != 1:
+            raise TilingError("tiling requires unit-step loops")
+
+
+def tile_perfect_nest(
+    root: AffineForOp, tile_sizes: Sequence[int]
+) -> List[AffineForOp]:
+    """Tile the perfect band rooted at ``root``.
+
+    ``tile_sizes`` gives one tile size per band loop, outermost first;
+    a size of 0 or 1 leaves that loop untiled (but it still moves into
+    the point-loop band to keep the tile/point structure).  Returns the
+    new loops, tile loops first.
+    """
+    band = perfect_nest(root)
+    if len(tile_sizes) > len(band):
+        raise TilingError(
+            f"{len(tile_sizes)} tile sizes for a depth-{len(band)} band"
+        )
+    band = band[: len(tile_sizes)]
+    _check_band(band)
+
+    innermost = band[-1]
+    payload = innermost.ops_in_body()
+    parent_block = root.parent_block
+    position = parent_block.operations.index(root)
+
+    sizes = [max(1, int(t)) for t in tile_sizes]
+    bounds = [
+        (loop.constant_lower_bound(), loop.constant_upper_bound())
+        for loop in band
+    ]
+
+    # Tile loops.
+    new_loops: List[AffineForOp] = []
+    for (lb, ub), size in zip(bounds, sizes):
+        loop = AffineForOp.create(lb, ub, size if size > 1 else 1)
+        new_loops.append(loop)
+    # Point loops.
+    for i, ((lb, ub), size) in enumerate(zip(bounds, sizes)):
+        if size == 1:
+            # degenerate: single iteration driven by the tile loop
+            tile_iv = new_loops[i].induction_var
+            point = AffineForOp.create(
+                AffineMap(1, 0, [ae.dim(0)]),
+                AffineMap(1, 0, [ae.dim(0) + 1]),
+                1,
+                [tile_iv],
+                [tile_iv],
+            )
+        else:
+            tile_iv = new_loops[i].induction_var
+            lb_map = AffineMap(1, 0, [ae.dim(0)])
+            if ub % size == 0 and lb % size == 0:
+                ub_map = AffineMap(1, 0, [ae.dim(0) + size])
+            else:
+                ub_map = AffineMap(1, 0, [ae.dim(0) + size, ae.constant(ub)])
+            point = AffineForOp.create(lb_map, ub_map, 1, [tile_iv], [tile_iv])
+        new_loops.append(point)
+
+    # Nest them.
+    for outer, inner in zip(new_loops, new_loops[1:]):
+        outer.body.insert(len(outer.body.operations) - 1, inner)
+
+    # Move the payload into the innermost point loop, remapping IVs.
+    inner_body = new_loops[-1].body
+    insert_at = len(inner_body.operations) - 1
+    iv_map: Dict = {
+        band[i].induction_var: new_loops[len(band) + i].induction_var
+        for i in range(len(band))
+    }
+    for op in payload:
+        innermost.body.remove(op)
+        inner_body.insert(insert_at, op)
+        insert_at += 1
+    for old_iv, new_iv in iv_map.items():
+        old_iv.replace_all_uses_with(new_iv)
+
+    parent_block.insert(position, new_loops[0])
+    root.drop_all_references()
+    for op in list(root.walk_inner()):
+        op.drop_all_references()
+    parent_block.remove(root)
+    return new_loops
+
+
+class TileLoopNestPass(FunctionPass):
+    """Tile every outermost perfect band with a fixed tile size."""
+
+    name = "affine-loop-tile"
+
+    def __init__(self, tile_size: int = 32):
+        self.tile_size = tile_size
+
+    def run_on_function(self, func, context) -> None:
+        from ..dialects.affine import outermost_loops
+
+        for loop in outermost_loops(func):
+            band = perfect_nest(loop)
+            try:
+                tile_perfect_nest(loop, [self.tile_size] * len(band))
+            except TilingError:
+                continue

@@ -1,0 +1,61 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dialects import affine as affine_d
+from repro.dialects import std
+from repro.ir import (
+    Builder,
+    Context,
+    FuncOp,
+    InsertionPoint,
+    ModuleOp,
+    ReturnOp,
+    f32,
+    memref,
+    verify,
+)
+
+
+@pytest.fixture
+def context():
+    return Context()
+
+
+def build_gemm_module(
+    m: int = 8, n: int = 9, k: int = 10, name: str = "gemm"
+) -> ModuleOp:
+    """A hand-built C += A*B affine module (no C frontend involved)."""
+    module = ModuleOp.create()
+    func = FuncOp.create(
+        name,
+        [memref(m, k, f32), memref(k, n, f32), memref(m, n, f32)],
+    )
+    module.append_function(func)
+    a, b, c = func.arguments
+    builder = Builder(InsertionPoint.at_end(func.entry_block))
+    loops, (i, j, kk) = affine_d.build_loop_nest(
+        builder, [(0, m), (0, n), (0, k)]
+    )
+    body = Builder(InsertionPoint(loops[-1].body, 0))
+    c_val = body.insert(affine_d.AffineLoadOp.create(c, [i, j]))
+    a_val = body.insert(affine_d.AffineLoadOp.create(a, [i, kk]))
+    b_val = body.insert(affine_d.AffineLoadOp.create(b, [kk, j]))
+    mul = body.insert(std.MulFOp.create(a_val.result, b_val.result))
+    add = body.insert(std.AddFOp.create(mul.result, c_val.result))
+    body.insert(affine_d.AffineStoreOp.create(add.result, c, [i, j]))
+    builder.insert(ReturnOp.create())
+    verify(module, Context())
+    return module
+
+
+def random_arrays(rng_seed: int, *shapes):
+    rng = np.random.default_rng(rng_seed)
+    return [rng.random(shape, dtype=np.float32) for shape in shapes]
+
+
+def assert_close(a: np.ndarray, b: np.ndarray, rtol: float = 1e-4) -> None:
+    np.testing.assert_allclose(a, b, rtol=rtol, atol=1e-5)

@@ -1,0 +1,180 @@
+"""Affine dialect ops and loop-nest utilities."""
+
+import pytest
+
+from repro.dialects import std
+from repro.dialects.affine import (
+    AffineApplyOp,
+    AffineForOp,
+    AffineLoadOp,
+    AffineMatmulOp,
+    AffineStoreOp,
+    AffineYieldOp,
+    build_loop_nest,
+    innermost_loops,
+    loop_nest_depth,
+    outermost_loops,
+    perfect_nest,
+)
+from repro.ir import (
+    AffineMap,
+    Builder,
+    FuncOp,
+    IRError,
+    InsertionPoint,
+    constant,
+    dim,
+    f32,
+    index,
+    memref,
+)
+
+from ..conftest import build_gemm_module
+
+
+class TestAffineFor:
+    def test_constant_bounds(self):
+        loop = AffineForOp.create(2, 10, step=2)
+        assert loop.constant_lower_bound() == 2
+        assert loop.constant_upper_bound() == 10
+        assert loop.step == 2
+        assert loop.constant_trip_count() == 4
+
+    def test_trip_count_rounds_up(self):
+        assert AffineForOp.create(0, 10, step=3).constant_trip_count() == 4
+
+    def test_zero_trip(self):
+        assert AffineForOp.create(5, 5).constant_trip_count() == 0
+        assert AffineForOp.create(7, 3).constant_trip_count() == 0
+
+    def test_body_has_iv_and_yield(self):
+        loop = AffineForOp.create(0, 4)
+        assert loop.induction_var.type == index
+        assert isinstance(loop.body.terminator, AffineYieldOp)
+        assert loop.ops_in_body() == []
+
+    def test_min_upper_bound_constant(self):
+        ub = AffineMap(0, 0, [constant(32), constant(20)])
+        loop = AffineForOp.create(AffineMap.constant_map([0]), ub)
+        assert loop.constant_upper_bound() == 20
+
+    def test_symbolic_bound_not_constant(self):
+        func = FuncOp.create("f", [index])
+        loop = AffineForOp.create(
+            0, AffineMap.identity(1), 1, [], [func.arguments[0]]
+        )
+        assert loop.constant_upper_bound() is None
+        assert not loop.has_constant_bounds()
+
+    def test_set_constant_bounds(self):
+        loop = AffineForOp.create(0, 4)
+        loop.set_constant_bounds(1, 9, 2)
+        assert loop.constant_trip_count() == 4
+
+    def test_operand_count_mismatch_rejected(self):
+        func = FuncOp.create("f", [index])
+        loop = AffineForOp.create(
+            0, AffineMap.identity(1), 1, [], [func.arguments[0]]
+        )
+        loop.attributes["lb_operand_count"] = (
+            loop.attributes["lb_operand_count"].__class__(1)
+        )
+        with pytest.raises(IRError):
+            loop.verify_()
+
+
+class TestAccessOps:
+    def _setup(self):
+        func = FuncOp.create("f", [memref(8, 8, f32)])
+        loop = AffineForOp.create(0, 8)
+        func.entry_block.append(loop)
+        return func, loop
+
+    def test_load_default_identity_map(self):
+        func, loop = self._setup()
+        iv = loop.induction_var
+        load = AffineLoadOp.create(func.arguments[0], [iv, iv])
+        assert load.map.is_identity()
+        assert load.result.type == f32
+        assert load.indices == [iv, iv]
+
+    def test_store_value_accessor(self):
+        func, loop = self._setup()
+        iv = loop.induction_var
+        const = std.ConstantOp.create(0.0, f32)
+        store = AffineStoreOp.create(const.result, func.arguments[0], [iv, iv])
+        assert store.value is const.result
+        assert store.memref is func.arguments[0]
+
+    def test_access_exprs(self):
+        func, loop = self._setup()
+        iv = loop.induction_var
+        map_ = AffineMap(1, 0, [dim(0) * 2, dim(0) + 1])
+        load = AffineLoadOp.create(func.arguments[0], [iv], map_)
+        assert load.access_exprs() == map_.results
+
+    def test_apply_requires_single_result(self):
+        with pytest.raises(IRError):
+            AffineApplyOp.create(AffineMap.identity(2), [])
+
+
+class TestAffineMatmul:
+    def test_shape_check(self):
+        func = FuncOp.create(
+            "f", [memref(4, 5, f32), memref(5, 6, f32), memref(4, 6, f32)]
+        )
+        a, b, c = func.arguments
+        AffineMatmulOp.create(a, b, c).verify_()
+
+    def test_shape_mismatch(self):
+        func = FuncOp.create(
+            "f", [memref(4, 5, f32), memref(9, 6, f32), memref(4, 6, f32)]
+        )
+        a, b, c = func.arguments
+        with pytest.raises(IRError):
+            AffineMatmulOp.create(a, b, c).verify_()
+
+    def test_rank_check(self):
+        func = FuncOp.create("f", [memref(4, f32)] * 3)
+        a, b, c = func.arguments
+        with pytest.raises(IRError):
+            AffineMatmulOp.create(a, b, c).verify_()
+
+
+class TestNestUtilities:
+    def test_perfect_nest_of_gemm(self):
+        module = build_gemm_module()
+        roots = outermost_loops(module.functions[0])
+        assert len(roots) == 1
+        band = perfect_nest(roots[0])
+        assert len(band) == 3
+
+    def test_innermost_loops(self):
+        module = build_gemm_module()
+        inner = innermost_loops(module.functions[0])
+        assert len(inner) == 1
+        assert len(inner[0].ops_in_body()) == 6
+
+    def test_loop_nest_depth(self):
+        module = build_gemm_module()
+        root = outermost_loops(module.functions[0])[0]
+        assert loop_nest_depth(root) == 3
+
+    def test_build_loop_nest(self):
+        func = FuncOp.create("f", [])
+        builder = Builder(InsertionPoint.at_end(func.entry_block))
+        loops, ivs = build_loop_nest(builder, [(0, 4), (0, 5)])
+        assert len(loops) == 2
+        assert perfect_nest(loops[0]) == loops
+        assert ivs[0] is loops[0].induction_var
+
+    def test_imperfect_nest_stops_band(self):
+        func = FuncOp.create("f", [memref(8, f32)])
+        outer = AffineForOp.create(0, 8)
+        inner = AffineForOp.create(0, 8)
+        func.entry_block.append(outer)
+        outer.body.insert(0, inner)
+        # add a sibling op next to the inner loop
+        const = std.ConstantOp.create(0.0, f32)
+        outer.body.insert(1, const)
+        assert perfect_nest(outer) == [outer]

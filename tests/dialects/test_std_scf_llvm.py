@@ -1,0 +1,147 @@
+"""std, scf and llvm dialect ops."""
+
+import pytest
+
+from repro.dialects import llvm, scf, std
+from repro.ir import (
+    Block,
+    FuncOp,
+    IRError,
+    MemRefType,
+    f32,
+    i1,
+    index,
+    memref,
+)
+
+
+class TestStdOps:
+    def test_constant_float(self):
+        op = std.ConstantOp.create(1.5, f32)
+        assert op.value == 1.5
+        assert op.result.type == f32
+
+    def test_constant_index_coerces_int(self):
+        op = std.ConstantOp.create(7, index)
+        assert op.value == 7
+        assert isinstance(op.value, int)
+
+    def test_constant_rejects_memref(self):
+        with pytest.raises(IRError):
+            std.ConstantOp.create(0, memref(4, f32))
+
+    def test_binary_type_mismatch(self):
+        c1 = std.ConstantOp.create(1.0, f32)
+        c2 = std.ConstantOp.create(1, index)
+        with pytest.raises(IRError):
+            std.AddFOp.create(c1.result, c2.result)
+
+    def test_float_op_rejects_ints(self):
+        c = std.ConstantOp.create(1, index)
+        op = std.AddIOp.create(c.result, c.result)
+        op.verify_()  # fine
+        bad = std.AddFOp(operands=[c.result, c.result], result_types=[index])
+        with pytest.raises(IRError):
+            bad.verify_()
+
+    def test_python_func_semantics(self):
+        assert std.AddFOp.PYTHON_FUNC(2.0, 3.0) == 5.0
+        assert std.SubIOp.PYTHON_FUNC(2, 3) == -1
+        assert std.DivIOp.PYTHON_FUNC(7, 2) == 3
+        assert std.RemIOp.PYTHON_FUNC(7, 2) == 1
+
+    def test_cmpi_predicates(self):
+        c = std.ConstantOp.create(1, index)
+        op = std.CmpIOp.create("slt", c.result, c.result)
+        assert op.predicate == "slt"
+        assert op.result.type == i1
+
+    def test_cmpi_unknown_predicate(self):
+        c = std.ConstantOp.create(1, index)
+        with pytest.raises(IRError):
+            std.CmpIOp.create("weird", c.result, c.result)
+
+    def test_alloc(self):
+        op = std.AllocOp.create(MemRefType([4, 4], f32))
+        assert op.result.type == memref(4, 4, f32)
+
+    def test_alloc_rejects_scalar(self):
+        with pytest.raises(IRError):
+            std.AllocOp.create(f32)
+
+    def test_load_store_accessors(self):
+        func = FuncOp.create("f", [memref(4, 4, f32)])
+        c = std.ConstantOp.create(0, index)
+        load = std.LoadOp.create(func.arguments[0], [c.result, c.result])
+        assert load.memref is func.arguments[0]
+        assert len(load.indices) == 2
+        store = std.StoreOp.create(load.result, func.arguments[0], [c.result, c.result])
+        assert store.value is load.result
+
+
+class TestScfOps:
+    def _for(self):
+        lb = std.ConstantOp.create(0, index)
+        ub = std.ConstantOp.create(10, index)
+        step = std.ConstantOp.create(1, index)
+        return scf.ForOp.create(lb.result, ub.result, step.result)
+
+    def test_for_structure(self):
+        loop = self._for()
+        assert loop.induction_var.type == index
+        assert isinstance(loop.body.terminator, scf.YieldOp)
+        loop.verify_()
+
+    def test_for_rejects_float_bounds(self):
+        c = std.ConstantOp.create(0.0, f32)
+        i = std.ConstantOp.create(0, index)
+        loop = scf.ForOp.create(c.result, i.result, i.result)
+        with pytest.raises(IRError):
+            loop.verify_()
+
+    def test_if_blocks(self):
+        cond = std.ConstantOp.create(1, i1)
+        op = scf.IfOp.create(cond.result, with_else=True)
+        assert op.then_block is not op.else_block
+        no_else = scf.IfOp.create(cond.result)
+        with pytest.raises(IRError):
+            no_else.else_block
+
+
+class TestLLVMOps:
+    def test_br_argument_count_checked(self):
+        dest = Block([index])
+        op = llvm.BrOp.create(dest, [])
+        with pytest.raises(IRError):
+            op.verify_()
+
+    def test_br_dest(self):
+        dest = Block()
+        op = llvm.BrOp.create(dest)
+        assert op.dest is dest
+        op.verify_()
+
+    def test_cond_br_successors(self):
+        cond = std.ConstantOp.create(1, i1)
+        t, f = Block(), Block()
+        op = llvm.CondBrOp.create(cond.result, t, f)
+        assert op.true_dest is t and op.false_dest is f
+        op.verify_()
+
+    def test_cond_br_rejects_block_args(self):
+        cond = std.ConstantOp.create(1, i1)
+        op = llvm.CondBrOp.create(cond.result, Block([index]), Block())
+        with pytest.raises(IRError):
+            op.verify_()
+
+    def test_flat_load_store(self):
+        func = FuncOp.create("f", [memref(16, f32)])
+        idx = std.ConstantOp.create(3, index)
+        load = llvm.LoadOp.create(func.arguments[0], idx.result)
+        assert load.result.type == f32
+        store = llvm.StoreOp.create(load.result, func.arguments[0], idx.result)
+        assert store.index is idx.result
+
+    def test_call_symbol(self):
+        op = llvm.CallOp.create("cblas_sgemm", [])
+        assert op.callee == "cblas_sgemm"

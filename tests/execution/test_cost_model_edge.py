@@ -1,0 +1,98 @@
+"""Cost-model edge cases: library ops inside loops, reports, machines."""
+
+import pytest
+
+from repro.dialects import blas as blas_d
+from repro.dialects.affine import AffineForOp
+from repro.execution import AMD_2920X, CostModel
+from repro.ir import (
+    Builder,
+    FuncOp,
+    InsertionPoint,
+    ModuleOp,
+    ReturnOp,
+    f32,
+    memref,
+)
+
+
+def _module_with_gemm_in_loop(trips: int):
+    module = ModuleOp.create()
+    func = FuncOp.create(
+        "f", [memref(64, 64, f32)] * 3
+    )
+    module.append_function(func)
+    builder = Builder(InsertionPoint.at_end(func.entry_block))
+    loop = builder.insert(AffineForOp.create(0, trips))
+    loop.body.insert(
+        0, blas_d.SgemmOp.create(*func.arguments)
+    )
+    builder.insert(ReturnOp.create())
+    return module
+
+
+class TestLibraryOpInLoop:
+    def test_cost_scales_with_trip_count(self):
+        model = CostModel(AMD_2920X)
+        one = model.cost_function(
+            _module_with_gemm_in_loop(1).functions[0]
+        )
+        ten = model.cost_function(
+            _module_with_gemm_in_loop(10).functions[0]
+        )
+        assert ten.seconds == pytest.approx(one.seconds * 10, rel=1e-6)
+        assert ten.flops == one.flops * 10
+
+    def test_call_overhead_paid_per_iteration(self):
+        model = CostModel(AMD_2920X)
+        report = model.cost_function(
+            _module_with_gemm_in_loop(10).functions[0]
+        )
+        # 10 calls x 1.5 ms dominates a tiny 64^3 gemm
+        assert report.seconds > 10 * AMD_2920X.library_call_overhead_s
+
+
+class TestReportShape:
+    def test_statement_descriptions(self):
+        from repro.met import compile_c
+
+        module = compile_c(
+            """
+            void f(float A[32][32], float B[32][32], float C[32][32]) {
+              for (int i = 0; i < 32; i++)
+                for (int j = 0; j < 32; j++)
+                  for (int k = 0; k < 32; k++)
+                    C[i][j] += A[i][k] * B[k][j];
+            }
+            """
+        )
+        report = CostModel(AMD_2920X).cost_function(module.functions[0])
+        assert len(report.statements) == 1
+        assert report.statements[0].description == "nest(depth=3)"
+        assert report.flops == 2 * 32**3
+
+    def test_gflops_of_empty_report(self):
+        from repro.execution.cost_model import CostReport
+
+        assert CostReport().gflops == 0.0
+
+
+class TestHarness:
+    def test_format_table(self):
+        from benchmarks.harness import format_table
+
+        text = format_table(
+            "T", ["a", "bb"], [(1, 2.5), ("xyz", 3.0)]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert "2.50" in text and "xyz" in text
+
+    def test_report_persists(self, tmp_path, monkeypatch, capsys):
+        import benchmarks.harness as harness
+
+        monkeypatch.setattr(harness, "RESULTS_DIR", str(tmp_path))
+        path = harness.report("unit", "hello")
+        assert open(path).read().strip() == "hello"
+        assert "hello" in capsys.readouterr().out

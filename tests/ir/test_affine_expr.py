@@ -1,0 +1,194 @@
+"""Affine expression algebra, including hypothesis property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import (
+    AffineBinaryExpr,
+    AffineConstantExpr,
+    AffineDimExpr,
+    AffineExprKind,
+    LinearForm,
+    constant,
+    dim,
+    from_linear_form,
+    symbol,
+)
+
+
+class TestConstruction:
+    def test_constant_fold_add(self):
+        assert (constant(2) + constant(3)) == constant(5)
+
+    def test_constant_fold_mul(self):
+        assert (constant(2) * constant(3)) == constant(6)
+
+    def test_add_zero_identity(self):
+        assert (dim(0) + 0) == dim(0)
+
+    def test_mul_one_identity(self):
+        assert (dim(0) * 1) == dim(0)
+
+    def test_mul_zero_annihilates(self):
+        assert (dim(0) * 0) == constant(0)
+
+    def test_constants_move_right(self):
+        expr = 3 + dim(0)
+        assert isinstance(expr, AffineBinaryExpr)
+        assert expr.lhs == dim(0)
+        assert expr.rhs == constant(3)
+
+    def test_sub_via_negation(self):
+        expr = dim(0) - 4
+        assert expr.evaluate([10]) == 6
+
+    def test_negation(self):
+        assert (-dim(0)).evaluate([5]) == -5
+
+    def test_floordiv_by_one(self):
+        assert dim(0).floordiv(1) == dim(0)
+
+    def test_dim_requires_nonnegative(self):
+        with pytest.raises(ValueError):
+            dim(-1)
+
+    def test_coerce_rejects_junk(self):
+        with pytest.raises(TypeError):
+            dim(0) + "x"
+
+
+class TestEvaluation:
+    def test_linear(self):
+        expr = dim(0) * 2 + dim(1) + 5
+        assert expr.evaluate([3, 4]) == 15
+
+    def test_symbols(self):
+        expr = dim(0) + symbol(0) * 3
+        assert expr.evaluate([1], [2]) == 7
+
+    def test_mod(self):
+        assert (dim(0) % 4).evaluate([10]) == 2
+
+    def test_floordiv(self):
+        assert dim(0).floordiv(4).evaluate([10]) == 2
+
+    def test_ceildiv(self):
+        assert dim(0).ceildiv(4).evaluate([10]) == 3
+        assert dim(0).ceildiv(4).evaluate([8]) == 2
+
+    def test_mod_negative_divisor_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            (dim(0) % constant(0)).evaluate([1])
+
+
+class TestLinearForm:
+    def test_simple_linear(self):
+        linear = (dim(0) * 2 + dim(1) + 5).as_linear()
+        assert linear.dim_coeffs == {0: 2, 1: 1}
+        assert linear.constant == 5
+
+    def test_collects_repeated_dims(self):
+        linear = (dim(0) + dim(0)).as_linear()
+        assert linear.dim_coeffs == {0: 2}
+
+    def test_cancellation(self):
+        linear = (dim(0) - dim(0)).as_linear()
+        assert linear.dim_coeffs == {}
+
+    def test_mod_is_not_linear(self):
+        assert (dim(0) % 4).as_linear() is None
+
+    def test_dim_times_dim_not_linear(self):
+        assert (dim(0) * dim(1)).as_linear() is None
+
+    def test_single_dim(self):
+        assert (dim(2) * 3 + 1).as_linear().single_dim() == (2, 3, 1)
+        assert (dim(0) + dim(1)).as_linear().single_dim() is None
+
+    def test_symbol_coeffs(self):
+        linear = (symbol(0) * 4 + dim(0)).as_linear()
+        assert linear.symbol_coeffs == {0: 4}
+
+    def test_is_pure_affine(self):
+        assert (dim(0) * 3 + 7).is_pure_affine()
+        assert not (dim(0).floordiv(2)).is_pure_affine()
+
+
+class TestStructure:
+    def test_dims_used(self):
+        assert (dim(0) + dim(2) * 3).dims_used() == {0, 2}
+
+    def test_substitute_dims(self):
+        expr = dim(0) + dim(1)
+        replaced = expr.substitute_dims({0: constant(5)})
+        assert replaced.evaluate([0, 2]) == 7
+
+    def test_shift_dims(self):
+        expr = (dim(0) + dim(1) * 2).shift_dims(3)
+        assert expr.dims_used() == {3, 4}
+
+    def test_equality_structural(self):
+        assert dim(0) + 1 == dim(0) + 1
+        assert dim(0) + 1 != dim(0) + 2
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+
+_dims = st.integers(min_value=0, max_value=3)
+_coeffs = st.integers(min_value=-8, max_value=8)
+_points = st.lists(
+    st.integers(min_value=-100, max_value=100), min_size=4, max_size=4
+)
+
+
+@st.composite
+def linear_exprs(draw):
+    """Random linear affine expressions over 4 dims."""
+    expr = constant(draw(_coeffs))
+    for _ in range(draw(st.integers(min_value=1, max_value=5))):
+        term = dim(draw(_dims)) * draw(_coeffs)
+        expr = expr + term
+    return expr
+
+
+@given(linear_exprs(), _points)
+@settings(max_examples=80)
+def test_linear_form_roundtrip_preserves_semantics(expr, point):
+    linear = expr.as_linear()
+    assert linear is not None
+    rebuilt = from_linear_form(linear)
+    assert rebuilt.evaluate(point) == expr.evaluate(point)
+
+
+@given(linear_exprs(), linear_exprs(), _points)
+@settings(max_examples=60)
+def test_addition_is_pointwise(e1, e2, point):
+    assert (e1 + e2).evaluate(point) == e1.evaluate(point) + e2.evaluate(point)
+
+
+@given(linear_exprs(), _coeffs, _points)
+@settings(max_examples=60)
+def test_scaling_is_pointwise(expr, k, point):
+    assert (expr * k).evaluate(point) == expr.evaluate(point) * k
+
+
+@given(linear_exprs(), _points)
+@settings(max_examples=60)
+def test_linear_form_matches_manual_evaluation(expr, point):
+    linear = expr.as_linear()
+    manual = linear.constant + sum(
+        coeff * point[pos] for pos, coeff in linear.dim_coeffs.items()
+    )
+    assert manual == expr.evaluate(point)
+
+
+@given(st.integers(-1000, 1000), st.integers(1, 64))
+@settings(max_examples=60)
+def test_floordiv_mod_identity(a, b):
+    q = constant(a).floordiv(b).evaluate([])
+    r = (constant(a) % b).evaluate([])
+    assert q * b + r == a
+    assert 0 <= r < b

@@ -1,0 +1,127 @@
+"""Affine maps: constructors, queries, composition, text round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import AffineMap, constant, dim, symbol
+
+
+class TestConstructors:
+    def test_identity(self):
+        m = AffineMap.identity(3)
+        assert m.is_identity()
+        assert m.evaluate([4, 5, 6]) == [4, 5, 6]
+
+    def test_constant_map(self):
+        m = AffineMap.constant_map([0, 7])
+        assert m.num_dims == 0
+        assert m.evaluate([]) == [0, 7]
+
+    def test_permutation(self):
+        m = AffineMap.permutation([2, 0, 1])
+        assert m.is_permutation()
+        assert m.evaluate([10, 20, 30]) == [30, 10, 20]
+
+    def test_permutation_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            AffineMap.permutation([0, 0, 1])
+
+    def test_permutation_vector(self):
+        assert AffineMap.permutation([1, 0]).permutation_vector() == [1, 0]
+        assert AffineMap(1, 0, [dim(0) + 1]).permutation_vector() is None
+
+
+class TestQueries:
+    def test_identity_requires_matching_count(self):
+        assert not AffineMap(2, 0, [dim(0)]).is_identity()
+
+    def test_non_trivial_not_identity(self):
+        assert not AffineMap(2, 0, [dim(1), dim(0)]).is_identity()
+
+    def test_evaluate_checks_arity(self):
+        with pytest.raises(ValueError):
+            AffineMap.identity(2).evaluate([1])
+
+    def test_evaluate_with_symbols(self):
+        m = AffineMap(1, 1, [dim(0) + symbol(0)])
+        assert m.evaluate([3], [4]) == [7]
+
+    def test_sub_map(self):
+        m = AffineMap(2, 0, [dim(0), dim(1), dim(0) + dim(1)])
+        sub = m.sub_map([2])
+        assert sub.evaluate([2, 3]) == [5]
+
+
+class TestComposition:
+    def test_compose_identity(self):
+        m = AffineMap(2, 0, [dim(0) * 2, dim(1) + 1])
+        composed = m.compose(AffineMap.identity(2))
+        assert composed.evaluate([3, 4]) == m.evaluate([3, 4])
+
+    def test_compose_permutation(self):
+        outer = AffineMap(2, 0, [dim(0) + dim(1)])
+        inner = AffineMap.permutation([1, 0])
+        composed = outer.compose(inner)
+        assert composed.evaluate([3, 4]) == [7]
+
+    def test_compose_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            AffineMap.identity(2).compose(AffineMap.identity(3))
+
+
+class TestText:
+    def test_str_identity(self):
+        assert str(AffineMap.identity(2)) == "(d0, d1) -> (d0, d1)"
+
+    def test_parse_simple(self):
+        m = AffineMap.parse("(d0, d1) -> (d0 * 2 + 1, d1)")
+        assert m.evaluate([3, 4]) == [7, 4]
+
+    def test_parse_symbols(self):
+        m = AffineMap.parse("(d0)[s0] -> (d0 + s0)")
+        assert m.num_symbols == 1
+        assert m.evaluate([1], [10]) == [11]
+
+    def test_parse_mod_floordiv(self):
+        m = AffineMap.parse("(d0) -> (d0 mod 4, d0 floordiv 4)")
+        assert m.evaluate([10]) == [2, 2]
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            AffineMap.parse("(d0) -> d0")
+
+    def test_parse_with_wrapper(self):
+        m = AffineMap.parse("affine_map<(d0) -> (d0 + 2)>")
+        assert m.evaluate([1]) == [3]
+
+    def test_parse_unknown_identifier(self):
+        with pytest.raises(ValueError):
+            AffineMap.parse("(d0) -> (d1)")
+
+
+_small_exprs = st.builds(
+    lambda c0, c1, k: dim(0) * c0 + dim(1) * c1 + k,
+    st.integers(-5, 5),
+    st.integers(-5, 5),
+    st.integers(-10, 10),
+)
+
+
+@given(st.lists(_small_exprs, min_size=1, max_size=3),
+       st.lists(st.integers(-50, 50), min_size=2, max_size=2))
+@settings(max_examples=60)
+def test_print_parse_roundtrip(exprs, point):
+    m = AffineMap(2, 0, exprs)
+    parsed = AffineMap.parse(str(m))
+    assert parsed.evaluate(point) == m.evaluate(point)
+
+
+@given(st.permutations(list(range(4))), st.permutations(list(range(4))))
+@settings(max_examples=40)
+def test_permutation_compose_is_permutation_product(p1, p2):
+    m1 = AffineMap.permutation(list(p1))
+    m2 = AffineMap.permutation(list(p2))
+    composed = m1.compose(m2)
+    point = [100, 200, 300, 400]
+    assert composed.evaluate(point) == m1.evaluate(m2.evaluate(point))

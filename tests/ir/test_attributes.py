@@ -1,0 +1,93 @@
+"""Attributes: equality, text forms, Python conversion."""
+
+import pytest
+
+from repro.ir import (
+    AffineMap,
+    AffineMapAttr,
+    ArrayAttr,
+    BoolAttr,
+    FloatAttr,
+    IntegerAttr,
+    StringAttr,
+    SymbolRefAttr,
+    TypeAttr,
+    attr_from_python,
+    f32,
+    int_array_attr,
+)
+
+
+class TestScalarAttrs:
+    def test_integer_equality(self):
+        assert IntegerAttr(3) == IntegerAttr(3)
+        assert IntegerAttr(3) != IntegerAttr(4)
+        assert IntegerAttr(3) != FloatAttr(3.0)
+
+    def test_float_str_always_has_point(self):
+        assert str(FloatAttr(1.0)) == "1.0"
+        assert "." in str(FloatAttr(2.5)) or "e" in str(FloatAttr(2.5))
+
+    def test_bool_str(self):
+        assert str(BoolAttr(True)) == "true"
+        assert str(BoolAttr(False)) == "false"
+
+    def test_string_quoted(self):
+        assert str(StringAttr("mkl-dnn")) == '"mkl-dnn"'
+
+    def test_symbol_ref(self):
+        assert str(SymbolRefAttr("gemm")) == "@gemm"
+
+    def test_type_attr(self):
+        assert TypeAttr(f32) == TypeAttr(f32)
+
+
+class TestArrayAttr:
+    def test_int_array_helper(self):
+        arr = int_array_attr([0, 2, 1])
+        assert len(arr) == 3
+        assert [a.value for a in arr] == [0, 2, 1]
+
+    def test_str(self):
+        assert str(int_array_attr([1, 2])) == "[1, 2]"
+
+    def test_nested(self):
+        nested = ArrayAttr([int_array_attr([0, 1]), int_array_attr([2])])
+        assert str(nested) == "[[0, 1], [2]]"
+
+    def test_indexing(self):
+        arr = int_array_attr([5, 6])
+        assert arr[1].value == 6
+
+
+class TestAffineMapAttr:
+    def test_equality_by_map(self):
+        m1 = AffineMapAttr(AffineMap.identity(2))
+        m2 = AffineMapAttr(AffineMap.identity(2))
+        assert m1 == m2
+
+
+class TestConversion:
+    def test_from_int(self):
+        assert attr_from_python(7) == IntegerAttr(7)
+
+    def test_from_bool_not_int(self):
+        assert attr_from_python(True) == BoolAttr(True)
+        assert attr_from_python(True) != IntegerAttr(1)
+
+    def test_from_float(self):
+        assert attr_from_python(2.5) == FloatAttr(2.5)
+
+    def test_from_str(self):
+        assert attr_from_python("x") == StringAttr("x")
+
+    def test_from_list(self):
+        assert attr_from_python([1, 2]) == int_array_attr([1, 2])
+
+    def test_passthrough(self):
+        attr = StringAttr("y")
+        assert attr_from_python(attr) is attr
+
+    def test_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            attr_from_python(object())

@@ -1,0 +1,112 @@
+"""Type system: structural equality, interning semantics, queries."""
+
+import pytest
+
+from repro.ir import (
+    DYNAMIC,
+    F32Type,
+    F64Type,
+    FunctionType,
+    IndexType,
+    IntegerType,
+    MemRefType,
+    TensorType,
+    VectorType,
+    f32,
+    f64,
+    i1,
+    i32,
+    index,
+    is_float,
+    memref,
+)
+
+
+class TestScalarTypes:
+    def test_f32_equality(self):
+        assert F32Type() == F32Type()
+        assert F32Type() == f32
+
+    def test_f32_f64_distinct(self):
+        assert F32Type() != F64Type()
+
+    def test_integer_width(self):
+        assert IntegerType(32) == i32
+        assert IntegerType(32) != IntegerType(64)
+
+    def test_integer_requires_positive_width(self):
+        with pytest.raises(ValueError):
+            IntegerType(0)
+
+    def test_index_is_not_integer(self):
+        assert IndexType() != IntegerType(64)
+
+    def test_hashable_and_interned_behaviour(self):
+        assert len({F32Type(), F32Type(), f32}) == 1
+        assert len({i1, i32}) == 2
+
+    def test_str_forms(self):
+        assert str(f32) == "f32"
+        assert str(f64) == "f64"
+        assert str(index) == "index"
+        assert str(i32) == "i32"
+
+    def test_is_float(self):
+        assert is_float(f32)
+        assert is_float(f64)
+        assert not is_float(index)
+        assert not is_float(i32)
+
+
+class TestShapedTypes:
+    def test_memref_equality(self):
+        assert MemRefType([4, 5], f32) == MemRefType((4, 5), f32)
+        assert MemRefType([4, 5], f32) != MemRefType([5, 4], f32)
+        assert MemRefType([4], f32) != TensorType([4], f32)
+
+    def test_rank_and_elements(self):
+        ty = MemRefType([4, 5, 6], f32)
+        assert ty.rank == 3
+        assert ty.num_elements() == 120
+        assert ty.has_static_shape()
+
+    def test_dynamic_dims(self):
+        ty = MemRefType([DYNAMIC, 8], f32)
+        assert not ty.has_static_shape()
+        assert ty.num_elements() is None
+        assert str(ty) == "memref<?x8xf32>"
+
+    def test_invalid_dim_rejected(self):
+        with pytest.raises(ValueError):
+            MemRefType([-3], f32)
+
+    def test_str_memref(self):
+        assert str(MemRefType([2048, 2048], f32)) == "memref<2048x2048xf32>"
+
+    def test_vector_str(self):
+        assert str(VectorType([8], f32)) == "vector<8xf32>"
+
+    def test_memref_helper(self):
+        assert memref(4, 5, f32) == MemRefType([4, 5], f32)
+
+    def test_memref_helper_requires_type(self):
+        with pytest.raises(TypeError):
+            memref(4, 5)
+
+
+class TestFunctionType:
+    def test_equality(self):
+        ft1 = FunctionType([f32, index], [f32])
+        ft2 = FunctionType((f32, index), (f32,))
+        assert ft1 == ft2
+
+    def test_str_single_result(self):
+        assert str(FunctionType([f32], [f32])) == "(f32) -> f32"
+
+    def test_str_multi_result(self):
+        assert str(FunctionType([], [f32, f32])) == "() -> (f32, f32)"
+
+    def test_inputs_are_tuples(self):
+        ft = FunctionType([f32], [])
+        assert isinstance(ft.inputs, tuple)
+        assert ft.results == ()

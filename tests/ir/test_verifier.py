@@ -1,0 +1,135 @@
+"""Verifier: structural invariants are enforced."""
+
+import pytest
+
+from repro.dialects import std
+from repro.dialects.affine import AffineForOp, AffineLoadOp
+from repro.ir import (
+    AffineMap,
+    Block,
+    Builder,
+    Context,
+    FuncOp,
+    InsertionPoint,
+    ModuleOp,
+    Operation,
+    ReturnOp,
+    VerificationError,
+    create_operation,
+    f32,
+    memref,
+    verify,
+)
+from repro.ir.values import OpOperand
+
+from ..conftest import build_gemm_module
+
+
+def _empty_func_module(name="f", args=()):
+    module = ModuleOp.create()
+    func = FuncOp.create(name, args)
+    func.entry_block.append(ReturnOp.create())
+    module.append_function(func)
+    return module, func
+
+
+class TestVerifier:
+    def test_valid_module_passes(self):
+        verify(build_gemm_module(), Context())
+
+    def test_missing_terminator(self):
+        module = ModuleOp.create()
+        func = FuncOp.create("f", [])
+        module.append_function(func)
+        with pytest.raises(VerificationError):
+            verify(module, Context())
+
+    def test_terminator_not_last(self):
+        module, func = _empty_func_module()
+        func.entry_block.insert(0, ReturnOp.create())
+        func.entry_block.append(create_operation("foo.bar"))
+        with pytest.raises(VerificationError):
+            verify(module, Context())
+
+    def test_unloaded_dialect_rejected(self):
+        module, func = _empty_func_module()
+        func.entry_block.insert(0, create_operation("bogus.op"))
+        with pytest.raises(VerificationError):
+            verify(module, Context())
+
+    def test_use_before_def(self):
+        module, func = _empty_func_module()
+        c1 = std.ConstantOp.create(1.0, f32)
+        add = std.AddFOp.create(c1.result, c1.result)
+        func.entry_block.insert(0, add)
+        func.entry_block.insert(1, c1)  # def after use
+        with pytest.raises(VerificationError):
+            verify(module, Context())
+
+    def test_def_before_use_in_nested_region(self):
+        # A value defined before a loop is visible inside the loop.
+        module, func = _empty_func_module()
+        c1 = func.entry_block.insert(0, std.ConstantOp.create(1.0, f32))
+        loop = AffineForOp.create(0, 4)
+        func.entry_block.insert(1, loop)
+        loop.body.insert(
+            0, std.AddFOp.create(c1.result, c1.result)
+        )
+        verify(module, Context())
+
+    def test_value_escaping_region_rejected(self):
+        # Using a loop-local value outside the loop is invalid.
+        module, func = _empty_func_module()
+        loop = AffineForOp.create(0, 4)
+        func.entry_block.insert(0, loop)
+        inner_const = loop.body.insert(0, std.ConstantOp.create(1.0, f32))
+        add = std.AddFOp.create(inner_const.result, inner_const.result)
+        func.entry_block.insert(1, add)
+        with pytest.raises(VerificationError):
+            verify(module, Context())
+
+    def test_foreign_iv_rejected(self):
+        # An IV from a sibling loop is not visible.
+        module, func = _empty_func_module(
+            args=[memref(8, f32)]
+        )
+        loop1 = AffineForOp.create(0, 4)
+        loop2 = AffineForOp.create(0, 4)
+        func.entry_block.insert(0, loop1)
+        func.entry_block.insert(1, loop2)
+        load = AffineLoadOp.create(
+            func.arguments[0], [loop1.induction_var]
+        )
+        loop2.body.insert(0, load)
+        with pytest.raises(VerificationError):
+            verify(module, Context())
+
+    def test_op_specific_verify_runs(self):
+        module, func = _empty_func_module(
+            args=[memref(4, 4, f32), memref(5, 6, f32), memref(4, 6, f32)]
+        )
+        a, b, c = func.arguments
+        from repro.dialects.linalg import MatmulOp
+
+        func.entry_block.insert(0, MatmulOp.create(a, b, c))
+        with pytest.raises(VerificationError):
+            verify(module, Context())
+
+    def test_affine_for_step_positive(self):
+        from repro.ir import IRError
+
+        with pytest.raises(IRError):
+            AffineForOp.create(0, 10, step=0)
+
+    def test_affine_load_map_arity(self):
+        module, func = _empty_func_module(args=[memref(4, 4, f32)])
+        loop = AffineForOp.create(0, 4)
+        func.entry_block.insert(0, loop)
+        bad = AffineLoadOp.create(
+            func.arguments[0],
+            [loop.induction_var],
+            AffineMap.identity(1),  # 1 result for rank-2 memref
+        )
+        loop.body.insert(0, bad)
+        with pytest.raises(VerificationError):
+            verify(module, Context())

@@ -1,0 +1,234 @@
+"""MET: C lexer, parser, and Affine emission."""
+
+import pytest
+
+from repro.met import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    CNotAffineError,
+    CSyntaxError,
+    Decl,
+    For,
+    Ident,
+    Number,
+    compile_c,
+    parse_c,
+    tokenize,
+)
+from repro.met.c_lexer import CLexError
+from repro.ir import print_module
+
+
+class TestLexer:
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("for float foo")
+        assert [t.kind for t in tokens[:-1]] == ["KW", "KW", "ID"]
+
+    def test_float_literals(self):
+        tokens = tokenize("1.5f 2.0 3f 1e3")
+        kinds = [t.kind for t in tokens[:-1]]
+        assert kinds == ["FLOATLIT"] * 4
+
+    def test_compound_operators(self):
+        tokens = tokenize("+= ++ <=")
+        assert [t.text for t in tokens[:-1]] == ["+=", "++", "<="]
+
+    def test_comments_and_preproc_skipped(self):
+        tokens = tokenize("#include <x>\n// c\n/* block */ int")
+        assert len(tokens) == 2  # 'int' + EOF
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_bad_character(self):
+        with pytest.raises(CLexError):
+            tokenize("a @ b")
+
+
+class TestParser:
+    def test_function_signature(self):
+        unit = parse_c("void f(float A[4][5], int n, float alpha) { }")
+        func = unit.functions[0]
+        assert func.name == "f"
+        assert [p.name for p in func.params] == ["A", "n", "alpha"]
+        assert func.params[0].dims == [4, 5]
+        assert not func.params[1].is_array
+
+    def test_pointer_param_is_dynamic_array(self):
+        unit = parse_c("void f(float *A) { }")
+        assert unit.functions[0].params[0].dims == [-1]
+
+    def test_for_loop_forms(self):
+        src = """
+        void f(float A[4]) {
+          for (int i = 0; i < 4; i++) A[i] = 0.0f;
+          for (int j = 0; j < 4; ++j) A[j] = 0.0f;
+          for (int k = 0; k < 4; k += 2) A[k] = 0.0f;
+        }
+        """
+        body = parse_c(src).functions[0].body
+        assert [s.step for s in body] == [1, 1, 2]
+
+    def test_le_condition_normalized(self):
+        unit = parse_c(
+            "void f(float A[5]) { for (int i = 0; i <= 3; i++) A[i] = 0.0f; }"
+        )
+        loop = unit.functions[0].body[0]
+        assert isinstance(loop.upper, BinOp)
+
+    def test_compound_assignment(self):
+        unit = parse_c(
+            "void f(float A[4]) { for (int i = 0; i < 4; i++) A[i] += 2.0f; }"
+        )
+        stmt = unit.functions[0].body[0].body[0]
+        assert stmt.op == "+="
+
+    def test_local_decl(self):
+        unit = parse_c("void f() { float T[4][5]; }")
+        decl = unit.functions[0].body[0]
+        assert isinstance(decl, Decl)
+        assert decl.dims == [4, 5]
+
+    def test_scalar_local_rejected(self):
+        with pytest.raises(CSyntaxError):
+            parse_c("void f() { float t; }")
+
+    def test_expression_precedence(self):
+        unit = parse_c(
+            "void f(float A[4]) { for (int i = 0; i < 4; i++) "
+            "A[i] = 1.0f + 2.0f * 3.0f; }"
+        )
+        value = unit.functions[0].body[0].body[0].value
+        assert value.op == "+"
+        assert value.rhs.op == "*"
+
+    def test_nonloop_condition_var_rejected(self):
+        with pytest.raises(CSyntaxError):
+            parse_c("void f() { for (int i = 0; j < 4; i++) { } }")
+
+    def test_assign_to_scalar_rejected(self):
+        with pytest.raises(CSyntaxError):
+            parse_c("void f(float x) { x = 1.0f; }")
+
+
+class TestEmission:
+    def test_simple_kernel_structure(self):
+        module = compile_c(
+            """
+            void axpy(float X[128], float Y[128]) {
+              for (int i = 0; i < 128; i++)
+                Y[i] += 2.0f * X[i];
+            }
+            """,
+            distribute=False,
+        )
+        text = print_module(module)
+        assert "affine.for %0 = 0 to 128" in text
+        assert "std.mulf" in text
+        assert "affine.store" in text
+
+    def test_linearized_access_emitted(self):
+        module = compile_c(
+            """
+            void f(float *A) {
+              for (int i = 0; i < 4; i++)
+                for (int j = 0; j < 5; j++)
+                  A[i * 5 + j] = 0.0f;
+            }
+            """,
+            distribute=False,
+        )
+        text = print_module(module)
+        assert "* 5" in text
+
+    def test_symbolic_bound(self):
+        module = compile_c(
+            """
+            void f(float A[100], int n) {
+              for (int i = 0; i < n; i++)
+                A[i] = 0.0f;
+            }
+            """,
+            distribute=False,
+        )
+        text = print_module(module)
+        assert "to %arg1" in text
+
+    def test_local_array_allocated(self):
+        module = compile_c(
+            """
+            void f(float A[4]) {
+              float T[4];
+              for (int i = 0; i < 4; i++) T[i] = A[i];
+            }
+            """,
+            distribute=False,
+        )
+        assert any(op.name == "std.alloc" for op in module.walk())
+
+    def test_double_becomes_f64(self):
+        module = compile_c(
+            "void f(double A[4]) { for (int i = 0; i < 4; i++) A[i] += A[i]; }",
+            distribute=False,
+        )
+        assert "f64" in str(module.functions[0].function_type)
+
+    def test_non_affine_subscript_rejected(self):
+        with pytest.raises(CNotAffineError):
+            compile_c(
+                """
+                void f(float A[16], int lda) {
+                  for (int i = 0; i < 4; i++)
+                    A[i * lda] = 0.0f;
+                }
+                """
+            )
+
+    def test_indirect_subscript_rejected(self):
+        with pytest.raises(CSyntaxError):
+            compile_c(
+                """
+                void f(float A[16], float B[16]) {
+                  for (int i = 0; i < 4; i++)
+                    A[B[i]] = 0.0f;
+                }
+                """
+            )
+
+    def test_quadratic_subscript_rejected(self):
+        with pytest.raises(CNotAffineError):
+            compile_c(
+                """
+                void f(float A[16]) {
+                  for (int i = 0; i < 4; i++)
+                    A[i * i] = 0.0f;
+                }
+                """
+            )
+
+    def test_distribution_splits_init_from_mac(self):
+        module = compile_c(
+            """
+            void gemm(float A[8][8], float B[8][8], float C[8][8]) {
+              for (int i = 0; i < 8; i++)
+                for (int j = 0; j < 8; j++) {
+                  C[i][j] = 0.0f;
+                  for (int k = 0; k < 8; k++)
+                    C[i][j] += A[i][k] * B[k][j];
+                }
+            }
+            """
+        )
+        from repro.dialects.affine import outermost_loops
+
+        roots = outermost_loops(module.functions[0])
+        assert len(roots) == 2
+
+    def test_multiple_functions(self):
+        module = compile_c(
+            "void a(float X[4]) { for (int i = 0; i < 4; i++) X[i] = 0.0f; }"
+            "void b(float X[4]) { for (int i = 0; i < 4; i++) X[i] = 1.0f; }"
+        )
+        assert len(module.functions) == 2

@@ -1,0 +1,143 @@
+"""Pluto baseline: permutability analysis, interchange, autotuning."""
+
+import numpy as np
+import pytest
+
+from repro.dialects.affine import outermost_loops, perfect_nest
+from repro.execution import AMD_2920X, Interpreter
+from repro.met import compile_c
+from repro.polyhedral import (
+    FUSION_HEURISTICS,
+    PlutoOptions,
+    band_is_fully_permutable,
+    pluto_best,
+    pluto_optimize,
+)
+from repro.polyhedral.pluto import permute_band
+from repro.ir import Context, verify
+
+from ..conftest import assert_close, build_gemm_module, random_arrays
+
+GEMM_SRC = """
+void gemm(float A[8][9], float B[9][10], float C[8][10]) {
+  for (int i = 0; i < 8; i++)
+    for (int j = 0; j < 10; j++)
+      for (int k = 0; k < 9; k++)
+        C[i][j] += A[i][k] * B[k][j];
+}
+"""
+
+
+class TestPermutability:
+    def test_gemm_is_fully_permutable(self):
+        module = compile_c(GEMM_SRC)
+        band = perfect_nest(outermost_loops(module.functions[0])[0])
+        assert band_is_fully_permutable(band)
+
+    def test_recurrence_is_not_permutable(self):
+        src = """
+        void f(float A[16][16]) {
+          for (int i = 1; i < 16; i++)
+            for (int j = 0; j < 16; j++)
+              A[i][j] = A[i - 1][j];
+        }
+        """
+        module = compile_c(src)
+        band = perfect_nest(outermost_loops(module.functions[0])[0])
+        assert not band_is_fully_permutable(band)
+
+
+class TestInterchange:
+    @pytest.mark.parametrize("perm", [[0, 2, 1], [2, 1, 0], [1, 2, 0]])
+    def test_permutation_preserves_semantics(self, perm):
+        ref = compile_c(GEMM_SRC)
+        permuted = compile_c(GEMM_SRC)
+        root = outermost_loops(permuted.functions[0])[0]
+        permute_band(root, perm)
+        verify(permuted, Context())
+        A, B = random_arrays(0, (8, 9), (9, 10))
+        C1 = np.zeros((8, 10), np.float32)
+        C2 = np.zeros((8, 10), np.float32)
+        Interpreter(ref).run("gemm", A, B, C1)
+        Interpreter(permuted).run("gemm", A, B, C2)
+        assert_close(C1, C2)
+
+    def test_bad_permutation_rejected(self):
+        from repro.transforms import TilingError
+
+        module = compile_c(GEMM_SRC)
+        root = outermost_loops(module.functions[0])[0]
+        with pytest.raises(TilingError):
+            permute_band(root, [0, 0, 1])
+
+
+class TestPlutoSchedules:
+    def test_default_tiles_bands(self):
+        module = compile_c(GEMM_SRC.replace("8", "64").replace("9", "64").replace("10", "64"))
+        pluto_optimize(module, PlutoOptions(tile_size=32))
+        root = outermost_loops(module.functions[0])[0]
+        assert len(perfect_nest(root)) == 6
+
+    def test_default_semantics_preserved(self):
+        ref = compile_c(GEMM_SRC)
+        opt = pluto_optimize(compile_c(GEMM_SRC), PlutoOptions(tile_size=4))
+        verify(opt, Context())
+        A, B = random_arrays(2, (8, 9), (9, 10))
+        C1 = np.zeros((8, 10), np.float32)
+        C2 = np.zeros((8, 10), np.float32)
+        Interpreter(ref).run("gemm", A, B, C1)
+        Interpreter(opt).run("gemm", A, B, C2)
+        assert_close(C1, C2)
+
+    def test_innermost_rotation_applied(self):
+        src = GEMM_SRC.replace("8", "64").replace("9", "64").replace("10", "64")
+        module = pluto_optimize(
+            compile_c(src), PlutoOptions(tile_size=1, innermost=1)
+        )
+        verify(module, Context())
+
+    def test_nofuse_keeps_nests_apart(self):
+        src = """
+        void f(float A[32], float B[32]) {
+          for (int i = 0; i < 32; i++) A[i] = 1.0f;
+          for (int i = 0; i < 32; i++) B[i] = A[i];
+        }
+        """
+        module = pluto_optimize(
+            compile_c(src), PlutoOptions(tile_size=1, fusion="nofuse")
+        )
+        assert len(outermost_loops(module.functions[0])) == 2
+
+    def test_smartfuse_merges(self):
+        src = """
+        void f(float A[32], float B[32]) {
+          for (int i = 0; i < 32; i++) A[i] = 1.0f;
+          for (int i = 0; i < 32; i++) B[i] = A[i];
+        }
+        """
+        module = pluto_optimize(
+            compile_c(src), PlutoOptions(tile_size=1, fusion="smartfuse")
+        )
+        assert len(outermost_loops(module.functions[0])) == 1
+
+    def test_options_describe(self):
+        assert "tile=32" in PlutoOptions().describe()
+        assert set(FUSION_HEURISTICS) == {"smartfuse", "maxfuse", "nofuse"}
+
+
+class TestAutotuning:
+    def test_best_not_worse_than_default(self):
+        src = GEMM_SRC.replace("8", "128").replace("9", "128").replace("10", "128")
+        best_options, best_seconds = pluto_best(
+            lambda: compile_c(src),
+            AMD_2920X,
+            tile_sizes=(1, 32),
+            max_innermost=3,
+        )
+        from repro.execution.cost_model import CostModel
+
+        default = pluto_optimize(compile_c(src), PlutoOptions())
+        default_seconds = CostModel(AMD_2920X).cost_function(
+            default.functions[0]
+        ).seconds
+        assert best_seconds <= default_seconds * 1.001

@@ -1,0 +1,192 @@
+"""TTGT contraction planning and matrix-chain reordering."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.execution import Interpreter
+from repro.ir import Context, verify
+from repro.met import compile_c
+from repro.tactics import (
+    contraction_tactic_tdl,
+    raise_affine_to_linalg,
+    reorder_matrix_chains,
+    ttgt_plan,
+)
+from repro.tactics.chain import (
+    chain_multiplications,
+    find_matrix_chains,
+    left_associative_tree,
+    optimal_parenthesization,
+    parenthesization_str,
+)
+from repro.tactics.contraction import PAPER_CONTRACTIONS
+from repro.tactics.tdl.ast import TdlSyntaxError
+from repro.evaluation.kernels import (
+    contraction_source,
+    matrix_chain_source,
+)
+
+from ..conftest import assert_close, random_arrays
+
+
+class TestTTGTPlan:
+    def test_listing_example(self):
+        plan = ttgt_plan("abc-acd-db")
+        assert plan.m_group == ["a", "c"]
+        assert plan.n_group == ["b"]
+        assert plan.k_group == ["d"]
+
+    def test_four_index(self):
+        plan = ttgt_plan("abcd-aebf-dfce")
+        assert set(plan.k_group) == {"e", "f"}
+        assert sorted(plan.m_group + plan.n_group) == ["a", "b", "c", "d"]
+
+    def test_no_contracted_index_rejected(self):
+        with pytest.raises(TdlSyntaxError):
+            ttgt_plan("ab-ax-by".replace("x", "a"))  # degenerate
+
+    def test_bad_spec_format(self):
+        with pytest.raises(TdlSyntaxError):
+            ttgt_plan("ab-cd")
+
+    def test_repeated_index_rejected(self):
+        with pytest.raises(TdlSyntaxError):
+            ttgt_plan("ab-aad-db")
+
+    def test_all_paper_contractions_plan(self):
+        for spec in PAPER_CONTRACTIONS:
+            plan = ttgt_plan(spec)
+            assert plan.k_group
+
+    def test_tdl_generation_parses(self):
+        from repro.tactics import parse_tdl
+
+        for spec in PAPER_CONTRACTIONS:
+            (tactic,) = parse_tdl(contraction_tactic_tdl(spec))
+            assert tactic.builders
+
+
+@pytest.mark.parametrize("spec", PAPER_CONTRACTIONS)
+def test_contraction_raising_preserves_semantics(spec):
+    """Every paper contraction: raise via TTGT, compare numerics."""
+    from repro.evaluation.kernels import _contraction_spec_sizes_small
+    from repro.tactics.contraction import parse_contraction_spec
+
+    sizes = _contraction_spec_sizes_small(spec)
+    src = contraction_source(spec, sizes)
+    ref = compile_c(src)
+    raised = compile_c(src)
+    stats = raise_affine_to_linalg(raised)
+    assert stats.total == 1, f"{spec} not raised"
+    verify(raised, Context())
+
+    out_idx, a_idx, b_idx = parse_contraction_spec(spec)
+    shape = lambda idx: tuple(sizes[v] for v in idx)
+    a, b = random_arrays(3, shape(a_idx), shape(b_idx))
+    c1 = np.zeros(shape(out_idx), np.float32)
+    c2 = np.zeros(shape(out_idx), np.float32)
+    Interpreter(ref).run("contraction", a, b, c1)
+    Interpreter(raised).run("contraction", a, b, c2)
+    assert_close(c1, c2, rtol=1e-3)
+
+
+class TestChainDP:
+    def test_cormen_textbook_example(self):
+        # CLRS: dims (30,35,15,5,10,20,25) -> 15125 multiplications
+        cost, tree = optimal_parenthesization([30, 35, 15, 5, 10, 20, 25])
+        assert cost == 15125
+
+    def test_paper_three_matrix_example(self):
+        # §V-C: (A1(A2 A3)) needs 2.2e8, ((A1 A2)A3) needs 1.152e9
+        dims = [800, 1100, 1200, 100]
+        cost, tree = optimal_parenthesization(dims)
+        assert cost == 220_000_000
+        assert parenthesization_str(tree) == "(A1x(A2xA3))"
+        left = left_associative_tree(3)
+        assert chain_multiplications(dims, left) == 1_152_000_000
+
+    def test_single_matrix(self):
+        cost, tree = optimal_parenthesization([4, 5])
+        assert cost == 0 and tree == 0
+
+    def test_consistency_of_tree_cost(self):
+        dims = [10, 20, 5, 30]
+        cost, tree = optimal_parenthesization(dims)
+        assert chain_multiplications(dims, tree) == cost
+
+    @given(st.lists(st.integers(1, 50), min_size=3, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_dp_is_optimal_vs_bruteforce(self, dims):
+        n = len(dims) - 1
+        best, tree = optimal_parenthesization(dims)
+
+        def all_trees(i, j):
+            if i == j:
+                yield i
+                return
+            for k in range(i, j):
+                for l in all_trees(i, k):
+                    for r in all_trees(k + 1, j):
+                        yield (l, r)
+
+        brute = min(
+            chain_multiplications(dims, t) for t in all_trees(0, n - 1)
+        )
+        assert best == brute
+        assert chain_multiplications(dims, tree) == best
+
+
+class TestChainRewriting:
+    def _raised_chain(self, dims):
+        module = compile_c(matrix_chain_source(dims))
+        raise_affine_to_linalg(module)
+        return module
+
+    def test_detection(self):
+        module = self._raised_chain([8, 11, 9, 12, 4])
+        chains = find_matrix_chains(module.functions[0])
+        assert len(chains) == 1
+        assert chains[0].dims == [8, 11, 9, 12, 4]
+
+    def test_reorder_reduces_cost(self):
+        dims = [80, 110, 90, 120, 10]
+        module = self._raised_chain(dims)
+        assert reorder_matrix_chains(module) == 1
+        verify(module, Context())
+
+    def test_already_optimal_untouched(self):
+        # For these dims the left-associative order is optimal.
+        dims = [4, 4, 4, 4]
+        module = self._raised_chain(dims)
+        assert reorder_matrix_chains(module) == 0
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_reorder_preserves_semantics(self, n):
+        dims = [7, 13, 5, 17, 3, 11, 9][: n + 1]
+        src = matrix_chain_source(dims)
+        ref = compile_c(src)
+        opt = compile_c(src)
+        raise_affine_to_linalg(opt)
+        reorder_matrix_chains(opt)
+        verify(opt, Context())
+        mats = random_arrays(
+            n, *[(dims[i], dims[i + 1]) for i in range(n)]
+        )
+        r1 = np.zeros((dims[0], dims[n]), np.float32)
+        r2 = np.zeros((dims[0], dims[n]), np.float32)
+        Interpreter(ref).run("chain", *mats, r1)
+        Interpreter(opt).run("chain", *[m.copy() for m in mats], r2)
+        assert_close(r1, r2, rtol=1e-3)
+
+    def test_dead_temporaries_cleaned(self):
+        dims = [80, 110, 90, 120, 10]
+        module = self._raised_chain(dims)
+        reorder_matrix_chains(module)
+        func = module.functions[0]
+        for op in func.walk():
+            if op.name == "std.alloc":
+                assert op.results[0].is_used()

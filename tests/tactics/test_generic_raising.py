@@ -1,0 +1,134 @@
+"""Catch-all raising to linalg.generic (the extra raising path)."""
+
+import numpy as np
+import pytest
+
+from repro.dialects.linalg import GenericOp
+from repro.execution import Interpreter
+from repro.ir import Context, verify
+from repro.met import compile_c
+from repro.tactics import raise_affine_to_linalg, raise_to_generic
+
+from ..conftest import assert_close, random_arrays
+
+#: A contraction with transposed output: no named tactic matches it.
+TRANSPOSED_OUT = """
+void f(float A[5][6], float B[6][7], float C[7][5]) {
+  for (int i = 0; i < 5; i++)
+    for (int j = 0; j < 7; j++)
+      for (int k = 0; k < 6; k++)
+        C[j][i] += A[i][k] * B[k][j];
+}
+"""
+
+#: A 5-index contraction outside the seven TTGT specs.
+EXOTIC = """
+void f(float A[4][5][6], float B[6][5][7], float C[4][7]) {
+  for (int a = 0; a < 4; a++)
+    for (int b = 0; b < 7; b++)
+      for (int c = 0; c < 5; c++)
+        for (int d = 0; d < 6; d++)
+          C[a][b] += A[a][c][d] * B[d][c][b];
+}
+"""
+
+
+class TestGenericRaising:
+    def test_transposed_output_raises_to_generic(self):
+        module = compile_c(TRANSPOSED_OUT)
+        stats = raise_to_generic(module)
+        assert stats.callsites == {"GENERIC": 1}
+        generic = next(
+            op for op in module.walk() if isinstance(op, GenericOp)
+        )
+        assert generic.iterator_types == ["parallel", "parallel", "reduction"]
+        verify(module, Context())
+
+    def test_transposed_output_semantics(self):
+        ref = compile_c(TRANSPOSED_OUT)
+        raised = compile_c(TRANSPOSED_OUT)
+        raise_to_generic(raised)
+        a, b = random_arrays(0, (5, 6), (6, 7))
+        c1 = np.zeros((7, 5), np.float32)
+        c2 = np.zeros((7, 5), np.float32)
+        Interpreter(ref).run("f", a, b, c1)
+        Interpreter(raised).run("f", a, b, c2)
+        assert_close(c1, c2)
+
+    def test_exotic_contraction(self):
+        ref = compile_c(EXOTIC)
+        raised = compile_c(EXOTIC)
+        stats = raise_to_generic(raised)
+        assert stats.total == 1
+        a, b = random_arrays(1, (4, 5, 6), (6, 5, 7))
+        c1 = np.zeros((4, 7), np.float32)
+        c2 = np.zeros((4, 7), np.float32)
+        Interpreter(ref).run("f", a, b, c1)
+        Interpreter(raised).run("f", a, b, c2)
+        assert_close(c1, c2, rtol=1e-3)
+
+    def test_named_tactics_take_priority(self):
+        # Plain GEMM must be claimed by the GEMM tactic, not GENERIC.
+        src = """
+        void gemm(float A[5][6], float B[6][7], float C[5][7]) {
+          for (int i = 0; i < 5; i++)
+            for (int j = 0; j < 7; j++)
+              for (int k = 0; k < 6; k++)
+                C[i][j] += A[i][k] * B[k][j];
+        }
+        """
+        module = compile_c(src)
+        stats = raise_affine_to_linalg(module, raise_generics=True)
+        assert stats.callsites == {"GEMM": 1}
+
+    def test_generic_mops_up_after_named(self):
+        module = compile_c(TRANSPOSED_OUT)
+        stats = raise_affine_to_linalg(module, raise_generics=True)
+        assert stats.callsites == {"GENERIC": 1}
+
+    def test_aliased_accumulator_rejected(self):
+        src = """
+        void f(float A[6][6], float C[6][6]) {
+          for (int i = 0; i < 6; i++)
+            for (int j = 0; j < 6; j++)
+              for (int k = 0; k < 6; k++)
+                C[i][j] += A[i][k] * C[k][j];
+        }
+        """
+        module = compile_c(src)
+        assert raise_to_generic(module).total == 0
+
+    def test_scaled_subscript_rejected(self):
+        src = """
+        void f(float A[5][12], float B[6][7], float C[5][7]) {
+          for (int i = 0; i < 5; i++)
+            for (int j = 0; j < 7; j++)
+              for (int k = 0; k < 6; k++)
+                C[i][j] += A[i][2 * k] * B[k][j];
+        }
+        """
+        module = compile_c(src)
+        assert raise_to_generic(module).total == 0
+
+    def test_generic_flops_accounting(self):
+        module = compile_c(TRANSPOSED_OUT)
+        raise_to_generic(module)
+        generic = next(
+            op for op in module.walk() if isinstance(op, GenericOp)
+        )
+        assert generic.flops() == 2 * 5 * 6 * 7
+
+    def test_generic_lowers_back_to_loops(self):
+        from repro.transforms import lower_linalg_to_affine
+
+        ref = compile_c(TRANSPOSED_OUT)
+        roundtrip = compile_c(TRANSPOSED_OUT)
+        raise_to_generic(roundtrip)
+        lower_linalg_to_affine(roundtrip)
+        verify(roundtrip, Context())
+        a, b = random_arrays(2, (5, 6), (6, 7))
+        c1 = np.zeros((7, 5), np.float32)
+        c2 = np.zeros((7, 5), np.float32)
+        Interpreter(ref).run("f", a, b, c1)
+        Interpreter(roundtrip).run("f", a, b, c2)
+        assert_close(c1, c2)

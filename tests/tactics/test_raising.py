@@ -1,0 +1,246 @@
+"""Raising passes: Affine-to-Affine, Affine-to-Linalg, negative cases,
+and semantics preservation for every stock tactic."""
+
+import numpy as np
+import pytest
+
+from repro.dialects.affine import AffineMatmulOp
+from repro.execution import Interpreter
+from repro.ir import Context, verify
+from repro.met import compile_c
+from repro.tactics import (
+    CompiledTactic,
+    compile_tactic,
+    raise_affine_to_affine,
+    raise_affine_to_linalg,
+)
+from repro.tactics.raising import compile_tdl, default_linalg_tactics, gemm_tactic
+
+from ..conftest import assert_close, random_arrays
+
+GEMM_SRC = """
+void gemm(float A[7][9], float B[9][8], float C[7][8]) {
+  for (int i = 0; i < 7; i++)
+    for (int j = 0; j < 8; j++) {
+      C[i][j] = 0.0f;
+      for (int k = 0; k < 9; k++)
+        C[i][j] += A[i][k] * B[k][j];
+    }
+}
+"""
+
+
+def _check_raising_preserves(src, func_name, shapes, seed=0):
+    """Raise to linalg and compare numerics against the original."""
+    ref = compile_c(src)
+    raised = compile_c(src)
+    stats = raise_affine_to_linalg(raised)
+    verify(raised, Context())
+    args_ref = [
+        np.zeros(s, np.float32) if i >= len(shapes) - 1 else a
+        for i, (s, a) in enumerate(
+            zip(shapes, random_arrays(seed, *shapes))
+        )
+    ]
+    args_raised = [a.copy() for a in args_ref]
+    Interpreter(ref).run(func_name, *args_ref)
+    Interpreter(raised).run(func_name, *args_raised)
+    for a, b in zip(args_ref, args_raised):
+        assert_close(a, b)
+    return stats, raised
+
+
+class TestAffineToAffine:
+    def test_gemm_raised_to_affine_matmul(self):
+        module = compile_c(GEMM_SRC)
+        stats = raise_affine_to_affine(module)
+        assert stats.callsites == {"GEMM": 1}
+        assert any(isinstance(op, AffineMatmulOp) for op in module.walk())
+        # The init nest remains at the affine level.
+        assert any(op.name == "affine.for" for op in module.walk())
+        verify(module, Context())
+
+    def test_affine_matmul_semantics(self):
+        ref = compile_c(GEMM_SRC)
+        raised = compile_c(GEMM_SRC)
+        raise_affine_to_affine(raised)
+        A, B = random_arrays(1, (7, 9), (9, 8))
+        C1 = np.zeros((7, 8), np.float32)
+        C2 = np.zeros((7, 8), np.float32)
+        Interpreter(ref).run("gemm", A, B, C1)
+        Interpreter(raised).run("gemm", A, B, C2)
+        assert_close(C1, C2)
+
+
+class TestAffineToLinalg:
+    def test_gemm(self):
+        stats, module = _check_raising_preserves(
+            GEMM_SRC, "gemm", [(7, 9), (9, 8), (7, 8)]
+        )
+        assert stats.callsites["GEMM"] == 1
+        assert stats.callsites["FILL"] == 1
+        assert not any(op.name == "affine.for" for op in module.walk())
+
+    def test_matvec(self):
+        src = """
+        void mv(float A[6][9], float x[9], float y[6]) {
+          for (int i = 0; i < 6; i++)
+            for (int j = 0; j < 9; j++)
+              y[i] += A[i][j] * x[j];
+        }
+        """
+        stats, module = _check_raising_preserves(
+            src, "mv", [(6, 9), (9,), (6,)]
+        )
+        assert stats.callsites == {"MATVEC": 1}
+
+    def test_matvec_transposed(self):
+        src = """
+        void mvt(float A[6][9], float x[6], float y[9]) {
+          for (int i = 0; i < 6; i++)
+            for (int j = 0; j < 9; j++)
+              y[j] += A[i][j] * x[i];
+        }
+        """
+        stats, module = _check_raising_preserves(
+            src, "mvt", [(6, 9), (6,), (9,)]
+        )
+        assert stats.callsites == {"MATVEC_T": 1}
+
+    def test_conv2d(self):
+        src = """
+        void conv(float I[1][3][8][8], float K[2][3][3][3], float O[1][2][6][6]) {
+          for (int b = 0; b < 1; b++)
+            for (int f = 0; f < 2; f++)
+              for (int y = 0; y < 6; y++)
+                for (int x = 0; x < 6; x++)
+                  for (int c = 0; c < 3; c++)
+                    for (int p = 0; p < 3; p++)
+                      for (int q = 0; q < 3; q++)
+                        O[b][f][y][x] += I[b][c][y + p][x + q] * K[f][c][p][q];
+        }
+        """
+        stats, module = _check_raising_preserves(
+            src, "conv", [(1, 3, 8, 8), (2, 3, 3, 3), (1, 2, 6, 6)]
+        )
+        assert stats.callsites == {"CONV2D": 1}
+
+    def test_loop_order_irrelevant(self):
+        # darknet-style ikj order still matches the GEMM tactic
+        src = """
+        void gemm(float A[5][6], float B[6][7], float C[5][7]) {
+          for (int i = 0; i < 5; i++)
+            for (int k = 0; k < 6; k++)
+              for (int j = 0; j < 7; j++)
+                C[i][j] += A[i][k] * B[k][j];
+        }
+        """
+        stats, _ = _check_raising_preserves(
+            src, "gemm", [(5, 6), (6, 7), (5, 7)]
+        )
+        assert stats.callsites == {"GEMM": 1}
+
+    def test_2mm_raises_two_callsites(self):
+        from repro.evaluation.kernels import two_mm_source
+
+        module = compile_c(two_mm_source(6, 7, 8, 9))
+        stats = raise_affine_to_linalg(module)
+        assert stats.callsites["GEMM"] == 2
+
+
+class TestNegativeCases:
+    def _count(self, src):
+        module = compile_c(src)
+        return raise_affine_to_linalg(module).total
+
+    def test_extra_statement_blocks_match(self):
+        # Extra store in the innermost block: not a pure GEMM.
+        src = """
+        void f(float A[5][6], float B[6][7], float C[5][7], float D[5][7]) {
+          for (int i = 0; i < 5; i++)
+            for (int j = 0; j < 7; j++)
+              for (int k = 0; k < 6; k++) {
+                C[i][j] += A[i][k] * B[k][j];
+                D[i][j] = C[i][j];
+              }
+        }
+        """
+        module = compile_c(src, distribute=False)
+        assert raise_affine_to_linalg(module).total == 0
+
+    def test_scaled_access_blocks_match(self):
+        src = """
+        void f(float A[5][12], float B[6][7], float C[5][7]) {
+          for (int i = 0; i < 5; i++)
+            for (int j = 0; j < 7; j++)
+              for (int k = 0; k < 6; k++)
+                C[i][j] += A[i][2 * k] * B[k][j];
+        }
+        """
+        assert self._count(src) == 0
+
+    def test_same_array_twice_blocks_match(self):
+        src = """
+        void f(float A[6][6], float C[6][6]) {
+          for (int i = 0; i < 6; i++)
+            for (int j = 0; j < 6; j++)
+              for (int k = 0; k < 6; k++)
+                C[i][j] += A[i][k] * A[k][j];
+        }
+        """
+        assert self._count(src) == 0
+
+    def test_subtraction_body_blocks_match(self):
+        src = """
+        void f(float A[5][6], float B[6][7], float C[5][7]) {
+          for (int i = 0; i < 5; i++)
+            for (int j = 0; j < 7; j++)
+              for (int k = 0; k < 6; k++)
+                C[i][j] -= A[i][k] * B[k][j];
+        }
+        """
+        assert self._count(src) == 0
+
+    def test_transposed_output_blocks_gemm(self):
+        src = """
+        void f(float A[6][6], float B[6][6], float C[6][6]) {
+          for (int i = 0; i < 6; i++)
+            for (int j = 0; j < 6; j++)
+              for (int k = 0; k < 6; k++)
+                C[j][i] += A[i][k] * B[k][j];
+        }
+        """
+        assert self._count(src) == 0
+
+    def test_symbolic_bounds_block_match(self):
+        src = """
+        void f(float A[8][8], float B[8][8], float C[8][8], int n) {
+          for (int i = 0; i < n; i++)
+            for (int j = 0; j < n; j++)
+              for (int k = 0; k < n; k++)
+                C[i][j] += A[i][k] * B[k][j];
+        }
+        """
+        assert self._count(src) == 0
+
+
+class TestTacticLibrary:
+    def test_default_tactics_compile(self):
+        tactics = default_linalg_tactics()
+        names = [t.name for t in tactics]
+        assert "GEMM" in names
+        assert "MATVEC" in names and "MATVEC_T" in names
+        assert "CONV2D" in names
+        assert sum(1 for n in names if n.startswith("TTGT_")) == 7
+
+    def test_user_defined_tactic(self):
+        # A user can define and apply a custom tactic for a new motif.
+        tactics = compile_tdl(
+            "def MY_GEMM { pattern = builder X(p, q) += Y(p, r) * Z(r, q) }"
+        )
+        module = compile_c(GEMM_SRC)
+        stats = raise_affine_to_linalg(module, tactics=tactics, raise_fills=False)
+        assert stats.callsites == {"MY_GEMM": 1}
+
+    def test_gemm_tactic_num_loops(self):
+        assert gemm_tactic().num_loops == 3

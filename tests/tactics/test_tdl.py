@@ -1,0 +1,117 @@
+"""TDL: parsing and AST semantics (Listing 3 / Listing 8 forms)."""
+
+import pytest
+
+from repro.tactics import parse_tdl
+from repro.tactics.tdl.ast import TdlIndexExpr, TdlSyntaxError
+
+TTGT_TEXT = """
+def TTGT {
+  pattern
+    C(a,b,c) += A(a,c,d) * B(d,b)
+  builder
+    D(f,b) = C(a,b,c) where f = a * c
+    E(f,d) = A(a,c,d) where f = a * c
+    D(f,b) += E(f,d) * B(d,b)
+    C(a,b,c) = D(f,b) where f = a * c
+}
+"""
+
+
+class TestParsing:
+    def test_listing3_ttgt(self):
+        (tactic,) = parse_tdl(TTGT_TEXT)
+        assert tactic.name == "TTGT"
+        assert str(tactic.pattern) == "C(a, b, c) += A(a, c, d) * B(d, b)"
+        assert len(tactic.builders) == 4
+
+    def test_listing8_shared_pattern_builder(self):
+        (tactic,) = parse_tdl(
+            "def GEMM { pattern = builder C(i,j) += A(i,k) * B(k,j) }"
+        )
+        assert tactic.pattern is tactic.builders[0]
+        assert tactic.pattern.op == "+="
+
+    def test_where_clause(self):
+        (tactic,) = parse_tdl(TTGT_TEXT)
+        assert tactic.builders[0].where == {"f": ["a", "c"]}
+
+    def test_multiple_where_clauses(self):
+        (tactic,) = parse_tdl(
+            """
+            def T {
+              pattern C(a,b) += A(a,c) * B(c,b)
+              builder
+                D(f,g) = A(a,c) where f = a, g = c
+            }
+            """
+        )
+        assert tactic.builders[0].where == {"f": ["a"], "g": ["c"]}
+
+    def test_composite_index_expressions(self):
+        (tactic,) = parse_tdl(
+            "def CONV { pattern = builder "
+            "O(n,f,y,x) += I(n,c,y+kh,x+kw) * K(f,c,kh,kw) }"
+        )
+        idx = tactic.pattern.rhs[0].indices[2]
+        assert not idx.is_simple_var
+        assert sorted(idx.variables()) == ["kh", "y"]
+
+    def test_scaled_index(self):
+        (tactic,) = parse_tdl(
+            "def S { pattern = builder C(i) += A(2*i + 1) * B(i) }"
+        )
+        idx = tactic.pattern.rhs[0].indices[0]
+        assert idx.terms == [("i", 2)]
+        assert idx.constant == 1
+
+    def test_multiple_tactics_per_file(self):
+        tactics = parse_tdl(
+            "def A1 { pattern = builder C(i,j) += A(i,k) * B(k,j) }\n"
+            "def A2 { pattern = builder y(i) += M(i,j) * x(j) }\n"
+        )
+        assert [t.name for t in tactics] == ["A1", "A2"]
+
+    def test_comments_ignored(self):
+        tactics = parse_tdl(
+            "// a GEMM tactic\n"
+            "def G { pattern = builder C(i,j) += A(i,k) * B(k,j) }"
+        )
+        assert tactics[0].name == "G"
+
+    def test_syntax_error_reported(self):
+        with pytest.raises(TdlSyntaxError):
+            parse_tdl("def Broken { pattern C(i,j }")
+
+    def test_bad_statement_op(self):
+        with pytest.raises(TdlSyntaxError):
+            parse_tdl("def B { pattern C(i) -= A(i) }")
+
+
+class TestAst:
+    def test_index_vars_in_order(self):
+        (tactic,) = parse_tdl(TTGT_TEXT)
+        assert tactic.pattern.index_vars() == ["a", "b", "c", "d"]
+
+    def test_index_vars_expand_where(self):
+        (tactic,) = parse_tdl(TTGT_TEXT)
+        stmt = tactic.builders[0]  # D(f,b) = C(a,b,c) where f = a*c
+        assert stmt.index_vars() == ["a", "c", "b"]
+
+    def test_is_contraction(self):
+        (tactic,) = parse_tdl(TTGT_TEXT)
+        assert tactic.pattern.is_contraction
+        assert tactic.builders[0].is_copy
+
+    def test_str_roundtrip_through_parser(self):
+        (tactic,) = parse_tdl(TTGT_TEXT)
+        (reparsed,) = parse_tdl(str(tactic))
+        assert str(reparsed) == str(tactic)
+
+    def test_simple_var_accessor(self):
+        expr = TdlIndexExpr.var("i")
+        assert expr.is_simple_var
+        assert expr.single_var == "i"
+        composite = TdlIndexExpr([("i", 1), ("j", 1)])
+        with pytest.raises(TdlSyntaxError):
+            composite.single_var

@@ -1,0 +1,178 @@
+"""TDS records, the TDL->TDS frontend, and the mini-TableGen."""
+
+import pytest
+
+from repro.tactics import parse_tdl, parse_tds, tdl_to_tds
+from repro.tactics.tablegen import TableGenBackend, TableGenError
+from repro.tactics.tds import BuilderSpec
+from repro.tactics.tdl.ast import TdlSyntaxError
+
+TTGT_TEXT = """
+def TTGT {
+  pattern
+    C(a,b,c) += A(a,c,d) * B(d,b)
+  builder
+    D(f,b) = C(a,b,c) where f = a * c
+    E(f,d) = A(a,c,d) where f = a * c
+    D(f,b) += E(f,d) * B(d,b)
+    C(a,b,c) = D(f,b) where f = a * c
+}
+"""
+
+
+def _ttgt_record():
+    return tdl_to_tds(parse_tdl(TTGT_TEXT)[0])
+
+
+class TestFrontend:
+    def test_ttgt_decomposition_matches_listing4(self):
+        record = _ttgt_record()
+        kinds = [b.kind for b in record.builders]
+        # transpose C, reshape->D, reshape A->E, matmul, reshape, transpose
+        assert kinds == [
+            "transposeBuilder",
+            "reshapeBuilder",
+            "reshapeBuilder",
+            "matmulBuilder",
+            "reshapeBuilder",
+            "transposeBuilder",
+        ]
+
+    def test_transpose_permutation(self):
+        record = _ttgt_record()
+        assert record.builders[0].expr == [0, 2, 1]
+        assert record.builders[-1].expr == [0, 2, 1]
+
+    def test_reshape_groups(self):
+        record = _ttgt_record()
+        assert record.builders[1].expr == [[0, 1], [2]]
+
+    def test_matmul_operands(self):
+        record = _ttgt_record()
+        matmul = record.builders[3]
+        assert matmul.outs == ["D"]
+        assert matmul.ins[1] == "B"
+
+    def test_gemm_is_single_matmul(self):
+        record = tdl_to_tds(
+            parse_tdl("def G { pattern = builder C(i,j) += A(i,k) * B(k,j) }")[0]
+        )
+        assert len(record.builders) == 1
+        assert record.builders[0].kind == "matmulBuilder"
+        assert record.builders[0].ins == ["A", "B"]
+
+    def test_matvec_orientations(self):
+        normal = tdl_to_tds(
+            parse_tdl("def M { pattern = builder y(i) += A(i,j) * x(j) }")[0]
+        )
+        assert normal.builders[0].kind == "matvecBuilder"
+        assert normal.builders[0].expr is None
+        trans = tdl_to_tds(
+            parse_tdl("def M { pattern = builder y(j) += A(i,j) * x(i) }")[0]
+        )
+        assert trans.builders[0].expr == [1, 0]
+
+    def test_conv_detected(self):
+        record = tdl_to_tds(
+            parse_tdl(
+                "def C { pattern = builder "
+                "O(n,f,y,x) += I(n,c,y+kh,x+kw) * K(f,c,kh,kw) }"
+            )[0]
+        )
+        assert record.builders[0].kind == "convBuilder"
+        assert record.builders[0].ins == ["I", "K"]
+
+    def test_identity_copy_produces_nothing(self):
+        record = tdl_to_tds(
+            parse_tdl(
+                """
+                def T {
+                  pattern C(i,j) += A(i,k) * B(k,j)
+                  builder
+                    C(i,j) += A(i,k) * B(k,j)
+                }
+                """
+            )[0]
+        )
+        assert len(record.builders) == 1
+
+    def test_pure_transpose_copy(self):
+        record = tdl_to_tds(
+            parse_tdl(
+                """
+                def T {
+                  pattern y(j) += A(i,j) * x(i)
+                  builder
+                    At(j,i) = A(i,j)
+                    y(j) += At(j,i) * x(i)
+                }
+                """
+            )[0]
+        )
+        assert record.builders[0].kind == "transposeBuilder"
+        assert record.builders[0].expr == [1, 0]
+
+    def test_bad_matmul_orientation_rejected(self):
+        with pytest.raises(TdlSyntaxError):
+            tdl_to_tds(
+                parse_tdl(
+                    "def B { pattern = builder C(i,j) += A(k,i) * B(j,k) }"
+                )[0]
+            )
+
+
+class TestTableGenRoundtrip:
+    def test_emit_contains_listing4_elements(self):
+        text = _ttgt_record().emit_tablegen()
+        assert "def TTGT : Tactic<" in text
+        assert "transposeBuilder<In<[C]>" in text
+        assert "Expr<{0, 2, 1}>" in text
+        assert "Expr<{{0, 1}, 2}>" in text
+
+    def test_parse_emitted_text(self):
+        record = _ttgt_record()
+        (reparsed,) = parse_tds(record.emit_tablegen())
+        assert reparsed.name == record.name
+        assert str(reparsed.pattern) == str(record.pattern)
+        assert reparsed.builders == record.builders
+
+    def test_dims_preserved(self):
+        record = _ttgt_record()
+        (reparsed,) = parse_tds(record.emit_tablegen())
+        assert reparsed.builders[0].dims == record.builders[0].dims
+
+    def test_parse_rejects_nonsense(self):
+        with pytest.raises(TableGenError):
+            parse_tds("this is not tablegen")
+
+    def test_backend_compiles_records(self):
+        backend = TableGenBackend()
+        tactics = backend.compile([_ttgt_record()])
+        assert tactics[0].name == "TTGT"
+        assert tactics[0].num_loops == 4
+
+    def test_backend_emits_python_source(self):
+        backend = TableGenBackend()
+        code = backend.emit_python(_ttgt_record())
+        assert "m_Placeholder()" in code
+        assert "m_ArrayPlaceholder()" in code
+        assert "match_block_accesses" in code
+        compile(code, "<generated>", "exec")  # must be valid Python
+
+
+class TestBuilderSpecValidation:
+    def test_single_input_enforced(self):
+        with pytest.raises(TdlSyntaxError):
+            BuilderSpec("transposeBuilder", ["A", "B"], ["C"], [1, 0])
+
+    def test_expr_required_for_reshape(self):
+        with pytest.raises(TdlSyntaxError):
+            BuilderSpec("reshapeBuilder", ["A"], ["C"])
+
+    def test_single_output_enforced(self):
+        with pytest.raises(TdlSyntaxError):
+            BuilderSpec("matmulBuilder", ["A", "B"], ["C", "D"])
+
+    def test_unknown_kind(self):
+        with pytest.raises(TdlSyntaxError):
+            BuilderSpec("fooBuilder", ["A"], ["B"])

@@ -1,0 +1,125 @@
+"""The mlt-opt command-line driver."""
+
+import io
+import sys
+
+import pytest
+
+from repro.tool import build_pipeline, load_input, main
+
+
+GEMM = """
+void gemm(float A[8][8], float B[8][8], float C[8][8]) {
+  for (int i = 0; i < 8; i++)
+    for (int j = 0; j < 8; j++)
+      for (int k = 0; k < 8; k++)
+        C[i][j] += A[i][k] * B[k][j];
+}
+"""
+
+
+@pytest.fixture
+def c_file(tmp_path):
+    path = tmp_path / "kernel.c"
+    path.write_text(GEMM)
+    return str(path)
+
+
+class TestLoadInput:
+    def test_c_by_extension(self, c_file):
+        module = load_input(c_file)
+        assert module.lookup("gemm") is not None
+
+    def test_ir_by_extension(self, tmp_path):
+        path = tmp_path / "m.mlir"
+        path.write_text("func @f() { return }")
+        module = load_input(str(path))
+        assert module.lookup("f") is not None
+
+    def test_auto_detection_of_c(self, tmp_path):
+        path = tmp_path / "noext"
+        path.write_text(GEMM)
+        assert load_input(str(path)).lookup("gemm") is not None
+
+
+class TestPipeline:
+    def test_known_passes(self):
+        pm = build_pipeline(["raise-affine-to-linalg", "canonicalize"])
+        assert pm.pipeline_string() == "raise-affine-to-linalg,canonicalize"
+
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(SystemExit):
+            build_pipeline(["optimize-everything"])
+
+
+class TestMain:
+    def _run(self, argv, capsys):
+        code = main(argv)
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_raise_to_linalg(self, c_file, capsys):
+        code, out, _ = self._run(
+            [c_file, "-raise-affine-to-linalg"], capsys
+        )
+        assert code == 0
+        assert "linalg.matmul" in out
+
+    def test_raise_to_affine_matmul(self, c_file, capsys):
+        _, out, _ = self._run([c_file, "-raise-affine-to-affine"], capsys)
+        assert "affine.matmul" in out
+
+    def test_blas_substitution(self, c_file, capsys):
+        _, out, _ = self._run(
+            [c_file, "-raise-affine-to-linalg", "-convert-linalg-to-blas"],
+            capsys,
+        )
+        assert "blas.sgemm" in out
+
+    def test_full_lowering(self, c_file, capsys):
+        _, out, _ = self._run(
+            [c_file, "-lower-affine", "-convert-scf-to-llvm"], capsys
+        )
+        assert "llvm.cond_br" in out
+
+    def test_no_passes_prints_input(self, c_file, capsys):
+        _, out, _ = self._run([c_file], capsys)
+        assert "affine.for" in out
+
+    def test_timing_flag(self, c_file, capsys):
+        _, _, err = self._run(
+            [c_file, "-raise-affine-to-linalg", "--timing"], capsys
+        )
+        assert "Pass execution timing" in err
+
+    def test_estimate_flag(self, c_file, capsys):
+        _, _, err = self._run([c_file, "--estimate=amd"], capsys)
+        assert "GFLOP/s" in err
+
+    def test_output_file(self, c_file, capsys, tmp_path):
+        out_path = tmp_path / "out.mlir"
+        self._run(
+            [c_file, "-raise-affine-to-linalg", "-o", str(out_path)],
+            capsys,
+        )
+        assert "linalg.matmul" in out_path.read_text()
+
+    def test_output_reparses(self, c_file, capsys, tmp_path):
+        out_path = tmp_path / "out.mlir"
+        self._run([c_file, "-raise-affine-to-linalg", "-o", str(out_path)], capsys)
+        code, out, _ = self._run([str(out_path), "-canonicalize"], capsys)
+        assert code == 0
+        assert "linalg.matmul" in out
+
+    def test_scf_promotion_via_cli(self, c_file, capsys, tmp_path):
+        scf_path = tmp_path / "scf.mlir"
+        self._run([c_file, "-lower-affine", "-o", str(scf_path)], capsys)
+        _, out, _ = self._run(
+            [
+                str(scf_path),
+                "-raise-scf-to-affine",
+                "-raise-affine-to-linalg",
+            ],
+            capsys,
+        )
+        assert "linalg.matmul" in out

@@ -1,0 +1,82 @@
+"""BLAS dialect lowering to llvm.call and its execution."""
+
+import numpy as np
+import pytest
+
+from repro.dialects import blas as blas_d
+from repro.execution import Interpreter, InterpreterError
+from repro.ir import (
+    Builder,
+    Context,
+    FuncOp,
+    InsertionPoint,
+    ModuleOp,
+    ReturnOp,
+    f32,
+    memref,
+    print_module,
+    verify,
+)
+from repro.testing import filecheck
+from repro.transforms import LowerBlasToLLVMPass
+
+from ..conftest import assert_close, random_arrays
+
+
+def _blas_module():
+    module = ModuleOp.create()
+    func = FuncOp.create(
+        "f", [memref(4, 5, f32), memref(5, 6, f32), memref(4, 6, f32)]
+    )
+    module.append_function(func)
+    builder = Builder(InsertionPoint.at_end(func.entry_block))
+    builder.insert(blas_d.SgemmOp.create(*func.arguments))
+    builder.insert(ReturnOp.create())
+    return module
+
+
+class TestBlasToLLVM:
+    def test_lowering_emits_library_call(self):
+        module = _blas_module()
+        LowerBlasToLLVMPass().run(module, Context())
+        verify(module, Context())
+        filecheck(print_module(module), """
+          CHECK-LABEL: func @f
+          CHECK-NOT: blas.sgemm
+          CHECK: llvm.call @cblas_sgemm(%arg0, %arg1, %arg2)
+        """)
+
+    def test_lowered_call_executes_via_library_shim(self):
+        module = _blas_module()
+        LowerBlasToLLVMPass().run(module, Context())
+        a, b = random_arrays(0, (4, 5), (5, 6))
+        c = np.zeros((4, 6), np.float32)
+        Interpreter(module).run("f", a, b, c)
+        assert_close(c, a @ b)
+
+    def test_unknown_symbol_rejected_at_runtime(self):
+        from repro.dialects import llvm as llvm_d
+
+        module = ModuleOp.create()
+        func = FuncOp.create("f", [])
+        module.append_function(func)
+        func.entry_block.append(llvm_d.CallOp.create("dlopen_mystery", []))
+        func.entry_block.append(ReturnOp.create())
+        with pytest.raises(InterpreterError):
+            Interpreter(module).run("f")
+
+    def test_sgemv_symbol(self):
+        module = ModuleOp.create()
+        func = FuncOp.create(
+            "f", [memref(4, 5, f32), memref(5, f32), memref(4, f32)]
+        )
+        module.append_function(func)
+        builder = Builder(InsertionPoint.at_end(func.entry_block))
+        builder.insert(blas_d.SgemvOp.create(*func.arguments))
+        builder.insert(ReturnOp.create())
+        LowerBlasToLLVMPass().run(module, Context())
+        assert "cblas_sgemv" in print_module(module)
+        a, x = random_arrays(1, (4, 5), (5,))
+        y = np.zeros(4, np.float32)
+        Interpreter(module).run("f", a, x, y)
+        assert_close(y, a @ x)

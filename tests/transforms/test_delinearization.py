@@ -1,0 +1,135 @@
+"""Optimistic delinearization of linearized accesses (the paper's
+future-work fix for the missed Darknet callsite)."""
+
+import numpy as np
+import pytest
+
+from repro.dialects.affine import AffineLoadOp
+from repro.execution import Interpreter
+from repro.ir import Context, MemRefType, verify
+from repro.met import compile_c
+from repro.transforms import delinearize_accesses
+
+from ..conftest import assert_close, random_arrays
+
+
+LINEARIZED_GEMM = """
+void gemm_nn(float *A, float *B, float *C) {
+  for (int i = 0; i < 9; i++)
+    for (int k = 0; k < 11; k++)
+      for (int j = 0; j < 10; j++)
+        C[i * 10 + j] += A[i * 11 + k] * B[k * 10 + j];
+}
+"""
+
+
+class TestDelinearization:
+    def test_recovers_2d_shapes(self):
+        module = compile_c(LINEARIZED_GEMM)
+        func = module.functions[0]
+        assert delinearize_accesses(func) == 3
+        shapes = [a.type.shape for a in func.arguments]
+        assert shapes == [(9, 11), (11, 10), (9, 10)]
+        verify(module, Context())
+
+    def test_function_type_updated(self):
+        module = compile_c(LINEARIZED_GEMM)
+        func = module.functions[0]
+        delinearize_accesses(func)
+        assert func.function_type.inputs[0].rank == 2
+
+    def test_accesses_become_2d(self):
+        module = compile_c(LINEARIZED_GEMM)
+        func = module.functions[0]
+        delinearize_accesses(func)
+        loads = [op for op in func.walk() if isinstance(op, AffineLoadOp)]
+        assert all(load.map.num_results == 2 for load in loads)
+
+    def test_semantics_preserved(self):
+        ref = compile_c(LINEARIZED_GEMM)
+        delin = compile_c(LINEARIZED_GEMM)
+        delinearize_accesses(delin.functions[0])
+        a, b = random_arrays(7, (9 * 11,), (11 * 10,))
+        c1 = np.zeros(9 * 10, np.float32)
+        Interpreter(ref).run("gemm_nn", a, b, c1)
+        a2 = a.reshape(9, 11).copy()
+        b2 = b.reshape(11, 10).copy()
+        c2 = np.zeros((9, 10), np.float32)
+        Interpreter(delin).run("gemm_nn", a2, b2, c2)
+        assert_close(c1.reshape(9, 10), c2)
+
+    def test_enables_gemm_raising(self):
+        from repro.tactics import raise_affine_to_linalg
+
+        module = compile_c(LINEARIZED_GEMM)
+        delinearize_accesses(module.functions[0])
+        stats = raise_affine_to_linalg(module)
+        assert stats.callsites.get("GEMM") == 1
+
+    def test_without_delinearization_no_match(self):
+        from repro.tactics import raise_affine_to_linalg
+
+        module = compile_c(LINEARIZED_GEMM)
+        stats = raise_affine_to_linalg(module)
+        assert stats.total == 0
+
+    def test_offset_accesses(self):
+        src = """
+        void f(float *A) {
+          for (int i = 0; i < 4; i++)
+            for (int j = 0; j < 7; j++)
+              A[i * 8 + j + 1] = 0.0f;
+        }
+        """
+        module = compile_c(src)
+        func = module.functions[0]
+        assert delinearize_accesses(func) == 1
+        assert func.arguments[0].type.shape[1] == 8
+
+    def test_out_of_bounds_subindex_rejected(self):
+        # j reaches 9 >= recovered inner dim 8: not delinearizable.
+        src = """
+        void f(float *A) {
+          for (int i = 0; i < 4; i++)
+            for (int j = 0; j < 9; j++)
+              A[i * 8 + j] = 0.0f;
+        }
+        """
+        module = compile_c(src)
+        assert delinearize_accesses(module.functions[0]) == 0
+
+    def test_non_divisible_strides_rejected(self):
+        src = """
+        void f(float *A) {
+          for (int i = 0; i < 4; i++)
+            for (int j = 0; j < 3; j++)
+              A[i * 8 + j * 3] = 0.0f;
+        }
+        """
+        module = compile_c(src)
+        assert delinearize_accesses(module.functions[0]) == 0
+
+    def test_already_2d_untouched(self):
+        src = """
+        void f(float A[4][8]) {
+          for (int i = 0; i < 4; i++)
+            for (int j = 0; j < 8; j++)
+              A[i][j] = 0.0f;
+        }
+        """
+        module = compile_c(src)
+        assert delinearize_accesses(module.functions[0]) == 0
+
+    def test_3d_recovery(self):
+        src = """
+        void f(float *A) {
+          for (int i = 0; i < 3; i++)
+            for (int j = 0; j < 4; j++)
+              for (int k = 0; k < 5; k++)
+                A[i * 20 + j * 5 + k] = 1.0f;
+        }
+        """
+        module = compile_c(src)
+        func = module.functions[0]
+        assert delinearize_accesses(func) == 1
+        assert func.arguments[0].type.shape == (3, 4, 5)

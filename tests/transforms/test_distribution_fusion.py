@@ -1,0 +1,166 @@
+"""Loop distribution and fusion (inverse transforms)."""
+
+import numpy as np
+import pytest
+
+from repro.dialects.affine import AffineForOp, outermost_loops, perfect_nest
+from repro.execution import Interpreter
+from repro.met import compile_c
+from repro.transforms import distribute_loops, fuse_sibling_loops, greedy_fuse
+from repro.transforms.fusion import can_fuse
+
+from ..conftest import assert_close, random_arrays
+
+
+GEMM_SRC = """
+void gemm(float A[8][9], float B[9][10], float C[8][10]) {
+  for (int i = 0; i < 8; i++)
+    for (int j = 0; j < 10; j++) {
+      C[i][j] = 0.0f;
+      for (int k = 0; k < 9; k++)
+        C[i][j] += A[i][k] * B[k][j];
+    }
+}
+"""
+
+
+class TestDistribution:
+    def test_gemm_fully_distributed(self):
+        module = compile_c(GEMM_SRC, distribute=False)
+        func = module.functions[0]
+        num = distribute_loops(func)
+        assert num >= 2
+        roots = outermost_loops(func)
+        assert len(roots) == 2
+        assert len(perfect_nest(roots[0])) == 2  # init nest
+        assert len(perfect_nest(roots[1])) == 3  # MAC nest
+
+    def test_distribution_preserves_semantics(self):
+        module = compile_c(GEMM_SRC, distribute=False)
+        distributed = compile_c(GEMM_SRC, distribute=True)
+        A, B = random_arrays(3, (8, 9), (9, 10))
+        C1 = np.zeros((8, 10), np.float32)
+        C2 = np.zeros((8, 10), np.float32)
+        Interpreter(module).run("gemm", A, B, C1)
+        Interpreter(distributed).run("gemm", A, B, C2)
+        assert_close(C1, C2)
+
+    def test_backward_dependence_blocks_distribution(self):
+        # B[i] written by S2 is read by S1 at the *next* iteration.
+        src = """
+        void f(float A[16], float B[16]) {
+          for (int i = 0; i < 15; i++) {
+            A[i] = B[i + 1];
+            B[i] = A[i];
+          }
+        }
+        """
+        module = compile_c(src, distribute=False)
+        func = module.functions[0]
+        assert distribute_loops(func) == 0
+
+    def test_independent_statements_distribute(self):
+        src = """
+        void f(float A[16], float B[16]) {
+          for (int i = 0; i < 16; i++) {
+            A[i] = 1.0f;
+            B[i] = 2.0f;
+          }
+        }
+        """
+        module = compile_c(src, distribute=False)
+        func = module.functions[0]
+        assert distribute_loops(func) == 1
+        assert len(outermost_loops(func)) == 2
+
+    def test_constants_cloned_per_group(self):
+        src = """
+        void f(float A[16], float B[16]) {
+          for (int i = 0; i < 16; i++) {
+            A[i] = 3.0f;
+            B[i] = 3.0f;
+          }
+        }
+        """
+        module = compile_c(src, distribute=True)
+        A, B = np.zeros(16, np.float32), np.zeros(16, np.float32)
+        Interpreter(module).run("f", A, B)
+        assert (A == 3.0).all() and (B == 3.0).all()
+
+
+class TestFusion:
+    def _two_loops(self, src):
+        module = compile_c(src, distribute=False)
+        func = module.functions[0]
+        roots = outermost_loops(func)
+        assert len(roots) == 2
+        return module, func, roots
+
+    def test_fuse_identical_spaces(self):
+        src = """
+        void f(float A[16], float B[16]) {
+          for (int i = 0; i < 16; i++) A[i] = 1.0f;
+          for (int i = 0; i < 16; i++) B[i] = A[i];
+        }
+        """
+        module, func, (first, second) = self._two_loops(src)
+        assert can_fuse(first, second)
+        assert fuse_sibling_loops(first, second)
+        assert len(outermost_loops(func)) == 1
+        A, B = np.zeros(16, np.float32), np.zeros(16, np.float32)
+        Interpreter(module).run("f", A, B)
+        assert (B == 1.0).all()
+
+    def test_mismatched_bounds_not_fused(self):
+        src = """
+        void f(float A[16], float B[8]) {
+          for (int i = 0; i < 16; i++) A[i] = 1.0f;
+          for (int i = 0; i < 8; i++) B[i] = 2.0f;
+        }
+        """
+        _, _, (first, second) = self._two_loops(src)
+        assert not can_fuse(first, second)
+
+    def test_shifted_conflict_not_fused(self):
+        src = """
+        void f(float A[17], float B[16]) {
+          for (int i = 0; i < 16; i++) A[i + 1] = 1.0f;
+          for (int i = 0; i < 16; i++) B[i] = A[i];
+        }
+        """
+        _, _, (first, second) = self._two_loops(src)
+        assert not can_fuse(first, second)
+
+    def test_depth_mismatch_not_fused(self):
+        module = compile_c(GEMM_SRC, distribute=True)
+        func = module.functions[0]
+        first, second = outermost_loops(func)
+        assert not can_fuse(first, second)
+
+    def test_greedy_fuse_counts(self):
+        src = """
+        void f(float A[16], float B[16], float C[16]) {
+          for (int i = 0; i < 16; i++) A[i] = 1.0f;
+          for (int i = 0; i < 16; i++) B[i] = 1.0f;
+          for (int i = 0; i < 16; i++) C[i] = A[i] + B[i];
+        }
+        """
+        module = compile_c(src, distribute=False)
+        func = module.functions[0]
+        assert greedy_fuse(func) == 2
+        assert len(outermost_loops(func)) == 1
+
+    def test_fusion_is_inverse_of_distribution(self):
+        src = """
+        void f(float A[16], float B[16]) {
+          for (int i = 0; i < 16; i++) {
+            A[i] = 1.0f;
+            B[i] = 2.0f;
+          }
+        }
+        """
+        module = compile_c(src, distribute=True)
+        func = module.functions[0]
+        assert len(outermost_loops(func)) == 2
+        greedy_fuse(func)
+        assert len(outermost_loops(func)) == 1

@@ -1,0 +1,236 @@
+"""Progressive lowering: linalg -> affine -> scf -> llvm, each step
+semantics-preserving (validated by interpretation)."""
+
+import numpy as np
+import pytest
+
+from repro.dialects import linalg as linalg_d
+from repro.dialects import std
+from repro.execution import Interpreter
+from repro.ir import (
+    Builder,
+    Context,
+    FuncOp,
+    InsertionPoint,
+    ModuleOp,
+    ReturnOp,
+    f32,
+    memref,
+    verify,
+)
+from repro.met import compile_c
+from repro.tactics import raise_affine_to_linalg
+from repro.transforms import (
+    CanonicalizePass,
+    lower_affine_to_scf,
+    lower_linalg_to_affine,
+    lower_scf_to_llvm,
+    lower_to_llvm,
+)
+
+from ..conftest import assert_close, random_arrays
+
+
+def _linalg_module(op_builder, arg_shapes):
+    module = ModuleOp.create()
+    func = FuncOp.create("f", [memref(*s, f32) for s in arg_shapes])
+    module.append_function(func)
+    builder = Builder(InsertionPoint.at_end(func.entry_block))
+    op_builder(builder, func.arguments)
+    builder.insert(ReturnOp.create())
+    verify(module, Context())
+    return module
+
+
+def _check_equivalent(make_module, arg_shapes, seed=0):
+    """Interpret at linalg level vs fully lowered affine level."""
+    high = make_module()
+    low = make_module()
+    lower_linalg_to_affine(low)
+    verify(low, Context())
+    args_h = random_arrays(seed, *arg_shapes)
+    args_l = [a.copy() for a in args_h]
+    Interpreter(high).run("f", *args_h)
+    Interpreter(low).run("f", *args_l)
+    for h, l in zip(args_h, args_l):
+        assert_close(h, l)
+    return low
+
+
+class TestLinalgToAffine:
+    def test_matmul(self):
+        low = _check_equivalent(
+            lambda: _linalg_module(
+                lambda b, args: b.insert(
+                    linalg_d.MatmulOp.create(*args)
+                ),
+                [(4, 5), (5, 6), (4, 6)],
+            ),
+            [(4, 5), (5, 6), (4, 6)],
+        )
+        assert not any(op.dialect == "linalg" for op in low.walk())
+
+    def test_matvec(self):
+        _check_equivalent(
+            lambda: _linalg_module(
+                lambda b, args: b.insert(linalg_d.MatvecOp.create(*args)),
+                [(4, 5), (5,), (4,)],
+            ),
+            [(4, 5), (5,), (4,)],
+        )
+
+    def test_matvec_trans(self):
+        _check_equivalent(
+            lambda: _linalg_module(
+                lambda b, args: b.insert(
+                    linalg_d.MatvecOp.create(*args, trans=True)
+                ),
+                [(4, 5), (4,), (5,)],
+            ),
+            [(4, 5), (4,), (5,)],
+        )
+
+    def test_transpose(self):
+        _check_equivalent(
+            lambda: _linalg_module(
+                lambda b, args: b.insert(
+                    linalg_d.TransposeOp.create(args[0], args[1], [2, 0, 1])
+                ),
+                [(3, 4, 5), (5, 3, 4)],
+            ),
+            [(3, 4, 5), (5, 3, 4)],
+        )
+
+    def test_reshape_collapse(self):
+        _check_equivalent(
+            lambda: _linalg_module(
+                lambda b, args: b.insert(
+                    linalg_d.ReshapeOp.create(args[0], args[1], [[0, 1], [2]])
+                ),
+                [(3, 4, 5), (12, 5)],
+            ),
+            [(3, 4, 5), (12, 5)],
+        )
+
+    def test_reshape_expand(self):
+        _check_equivalent(
+            lambda: _linalg_module(
+                lambda b, args: b.insert(
+                    linalg_d.ReshapeOp.create(args[0], args[1], [[0, 1], [2]])
+                ),
+                [(12, 5), (3, 4, 5)],
+            ),
+            [(12, 5), (3, 4, 5)],
+        )
+
+    def test_conv2d(self):
+        _check_equivalent(
+            lambda: _linalg_module(
+                lambda b, args: b.insert(
+                    linalg_d.Conv2DNchwOp.create(*args)
+                ),
+                [(1, 3, 8, 8), (4, 3, 3, 3), (1, 4, 6, 6)],
+            ),
+            [(1, 3, 8, 8), (4, 3, 3, 3), (1, 4, 6, 6)],
+        )
+
+    def test_fill_and_copy(self):
+        def build(b, args):
+            c = b.insert(std.ConstantOp.create(2.5, f32))
+            b.insert(linalg_d.FillOp.create(c.result, args[0]))
+            b.insert(linalg_d.CopyOp.create(args[0], args[1]))
+
+        low = _check_equivalent(
+            lambda: _linalg_module(build, [(4, 5), (4, 5)]),
+            [(4, 5), (4, 5)],
+        )
+
+    def test_generic(self):
+        from repro.ir import AffineMap
+
+        def build(b, args):
+            op = linalg_d.GenericOp.create(
+                [args[0]],
+                [args[1]],
+                [AffineMap.identity(2), AffineMap.permutation([1, 0])],
+                ["parallel", "parallel"],
+            )
+            block = op.body
+            mul = block.append(
+                std.MulFOp.create(block.arguments[0], block.arguments[0])
+            )
+            block.append(linalg_d.LinalgYieldOp.create([mul.result]))
+            b.insert(op)
+
+        _check_equivalent(
+            lambda: _linalg_module(build, [(4, 5), (5, 4)]),
+            [(4, 5), (5, 4)],
+        )
+
+
+GEMM_SRC = """
+void gemm(float A[6][7], float B[7][8], float C[6][8]) {
+  for (int i = 0; i < 6; i++)
+    for (int j = 0; j < 8; j++) {
+      C[i][j] = 0.0f;
+      for (int k = 0; k < 7; k++)
+        C[i][j] += A[i][k] * B[k][j];
+    }
+}
+"""
+
+
+class TestFullLoweringPipeline:
+    def _run_all_levels(self, module_factory):
+        A, B = random_arrays(5, (6, 7), (7, 8))
+        results = []
+        for stage in ("affine", "scf", "llvm"):
+            module = module_factory()
+            if stage in ("scf", "llvm"):
+                for func in module.functions:
+                    lower_affine_to_scf(func)
+            if stage == "llvm":
+                for func in module.functions:
+                    lower_scf_to_llvm(func)
+            verify(module, Context())
+            C = np.zeros((6, 8), np.float32)
+            Interpreter(module).run("gemm", A.copy(), B.copy(), C)
+            results.append(C)
+        assert_close(results[0], results[1])
+        assert_close(results[0], results[2])
+
+    def test_affine_scf_llvm_agree(self):
+        self._run_all_levels(lambda: compile_c(GEMM_SRC))
+
+    def test_scf_level_has_no_affine(self):
+        module = compile_c(GEMM_SRC)
+        for func in module.functions:
+            lower_affine_to_scf(func)
+        assert not any(op.dialect == "affine" for op in module.walk())
+        assert any(op.name == "scf.for" for op in module.walk())
+
+    def test_llvm_level_is_cfg(self):
+        module = compile_c(GEMM_SRC)
+        lower_to_llvm(module)
+        func = module.functions[0]
+        assert len(func.regions[0].blocks) > 1
+        assert not any(op.name == "scf.for" for op in module.walk())
+        assert any(op.name == "llvm.cond_br" for op in module.walk())
+
+    def test_raised_module_lowers_and_matches(self):
+        ref = compile_c(GEMM_SRC)
+        raised = compile_c(GEMM_SRC)
+        raise_affine_to_linalg(raised)
+        lower_to_llvm(raised)
+        verify(raised, Context())
+        A, B = random_arrays(6, (6, 7), (7, 8))
+        C1 = np.zeros((6, 8), np.float32)
+        C2 = np.zeros((6, 8), np.float32)
+        Interpreter(ref).run("gemm", A, B, C1)
+        Interpreter(raised).run("gemm", A, B, C2)
+        assert_close(C1, C2)
+
+    def test_lowering_timing_recorded(self):
+        module = compile_c(GEMM_SRC)
+        timing = lower_to_llvm(module)
+        assert timing.total > 0

@@ -1,0 +1,83 @@
+"""Tiled code (min/max bounds) lowers to the LLVM CFG and executes."""
+
+import numpy as np
+import pytest
+
+from repro.dialects.affine import outermost_loops
+from repro.execution import Interpreter
+from repro.ir import Context, verify
+from repro.met import compile_c
+from repro.transforms import (
+    lower_affine_to_scf,
+    lower_scf_to_llvm,
+    tile_perfect_nest,
+)
+
+from ..conftest import assert_close, random_arrays
+
+GEMM_SRC = """
+void gemm(float A[7][9], float B[9][10], float C[7][10]) {
+  for (int i = 0; i < 7; i++)
+    for (int j = 0; j < 10; j++)
+      for (int k = 0; k < 9; k++)
+        C[i][j] += A[i][k] * B[k][j];
+}
+"""
+
+
+def _tiled(tile):
+    module = compile_c(GEMM_SRC)
+    root = outermost_loops(module.functions[0])[0]
+    tile_perfect_nest(root, [tile, tile, tile])
+    return module
+
+
+@pytest.mark.parametrize("tile", [2, 4, 5])
+def test_tiled_gemm_lowers_through_scf(tile):
+    """Non-divisible tile sizes produce min-bounds, which lower to
+    cmp+select chains."""
+    module = _tiled(tile)
+    for func in module.functions:
+        lower_affine_to_scf(func)
+    verify(module, Context())
+    assert any(op.name == "std.select" for op in module.walk())
+    A, B = random_arrays(0, (7, 9), (9, 10))
+    C1 = np.zeros((7, 10), np.float32)
+    C2 = np.zeros((7, 10), np.float32)
+    Interpreter(compile_c(GEMM_SRC)).run("gemm", A, B, C1)
+    Interpreter(module).run("gemm", A, B, C2)
+    assert_close(C1, C2)
+
+
+def test_tiled_gemm_lowers_to_llvm_cfg():
+    module = _tiled(4)
+    for func in module.functions:
+        lower_affine_to_scf(func)
+        lower_scf_to_llvm(func)
+    verify(module, Context())
+    assert any(op.name == "llvm.cond_br" for op in module.walk())
+    A, B = random_arrays(1, (7, 9), (9, 10))
+    C1 = np.zeros((7, 10), np.float32)
+    C2 = np.zeros((7, 10), np.float32)
+    Interpreter(compile_c(GEMM_SRC)).run("gemm", A, B, C1)
+    Interpreter(module, max_steps=10_000_000).run("gemm", A, B, C2)
+    assert_close(C1, C2)
+
+
+def test_select_semantics():
+    from repro.ir.parser import parse_module
+    from repro.execution import run_function
+
+    module = parse_module(
+        """
+        func @f() -> (index) {
+          %0 = std.constant 3 : index
+          %1 = std.constant 8 : index
+          %2 = std.cmpi "slt", %0, %1 : index
+          %3 = "std.select"(%2, %0, %1) : (i1, index, index) -> (index)
+          return %3 : index
+        }
+        """
+    )
+    (result,) = run_function(module, "f")
+    assert result == 3

@@ -1,0 +1,131 @@
+"""Property-based tests over transformations.
+
+Invariants:
+  * distribution followed by greedy fusion preserves program semantics
+    on randomized element-wise pipelines;
+  * delinearization succeeds exactly when recovered sub-indices stay in
+    bounds, and always preserves semantics when it fires;
+  * tiling composed with pluto interchange preserves GEMM semantics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.dialects.affine import outermost_loops, perfect_nest
+from repro.execution import Interpreter
+from repro.ir import Context, verify
+from repro.met import compile_c
+from repro.transforms import (
+    delinearize_accesses,
+    distribute_loops,
+    greedy_fuse,
+    tile_perfect_nest,
+)
+
+from ..conftest import assert_close
+
+
+@st.composite
+def elementwise_pipelines(draw):
+    """for i { A=..; B=f(A); C=g(B); } — safe to distribute and refuse."""
+    n = draw(st.integers(min_value=8, max_value=24))
+    num_stmts = draw(st.integers(min_value=2, max_value=4))
+    arrays = [chr(ord("A") + i) for i in range(num_stmts + 1)]
+    lines = []
+    for s in range(num_stmts):
+        src_arr, dst = arrays[s], arrays[s + 1]
+        coeff = draw(st.sampled_from(["1.0f", "2.0f", "0.5f"]))
+        op = draw(st.sampled_from(["+", "*"]))
+        lines.append(f"    {dst}[i] = {src_arr}[i] {op} {coeff};")
+    params = ", ".join(f"float {a}[{n}]" for a in arrays)
+    body = "\n".join(lines)
+    src = (
+        f"void f({params}) {{\n"
+        f"  for (int i = 0; i < {n}; i++) {{\n{body}\n  }}\n}}\n"
+    )
+    return src, len(arrays), n
+
+
+@given(elementwise_pipelines())
+@settings(max_examples=25, deadline=None)
+def test_distribute_then_fuse_roundtrip(data):
+    src, num_arrays, n = data
+    reference = compile_c(src, distribute=False)
+    transformed = compile_c(src, distribute=False)
+    func = transformed.functions[0]
+    distribute_loops(func)
+    greedy_fuse(func)
+    verify(transformed, Context())
+
+    rng = np.random.default_rng(n)
+    args_ref = [rng.random(n, dtype=np.float32) for _ in range(num_arrays)]
+    args_t = [a.copy() for a in args_ref]
+    Interpreter(reference).run("f", *args_ref)
+    Interpreter(transformed).run("f", *args_t)
+    for a, b in zip(args_ref, args_t):
+        assert_close(a, b)
+
+
+@given(
+    st.integers(min_value=2, max_value=8),   # rows
+    st.integers(min_value=2, max_value=8),   # inner extent
+    st.integers(min_value=0, max_value=6),   # slack in the inner stride
+)
+@settings(max_examples=25, deadline=None)
+def test_delinearization_bounds_property(rows, cols, slack):
+    stride = cols + slack
+    src = (
+        "void f(float *A) {\n"
+        f"  for (int i = 0; i < {rows}; i++)\n"
+        f"    for (int j = 0; j < {cols}; j++)\n"
+        f"      A[i * {stride} + j] = 1.0f;\n"
+        "}\n"
+    )
+    module = compile_c(src)
+    func = module.functions[0]
+    count = delinearize_accesses(func)
+    # inner index j < cols <= stride: always in bounds -> always fires
+    assert count == 1
+    assert func.arguments[0].type.shape == (rows, stride)
+    verify(module, Context())
+    # semantics: exactly rows*cols elements set
+    a = np.zeros((rows, stride), np.float32)
+    Interpreter(module).run("f", a)
+    assert int(a.sum()) == rows * cols
+    assert (a[:, :cols] == 1.0).all()
+
+
+@given(
+    st.sampled_from([2, 3, 4, 8]),
+    st.permutations([0, 1, 2]),
+)
+@settings(max_examples=20, deadline=None)
+def test_tile_after_interchange_preserves_gemm(tile, perm):
+    from repro.polyhedral.pluto import permute_band
+
+    m, n, k = 6, 7, 5
+    src = (
+        f"void gemm(float A[{m}][{k}], float B[{k}][{n}], float C[{m}][{n}]) {{\n"
+        f"  for (int i = 0; i < {m}; i++)\n"
+        f"    for (int j = 0; j < {n}; j++)\n"
+        f"      for (int p = 0; p < {k}; p++)\n"
+        "        C[i][j] += A[i][p] * B[p][j];\n"
+        "}\n"
+    )
+    reference = compile_c(src)
+    transformed = compile_c(src)
+    root = outermost_loops(transformed.functions[0])[0]
+    root = permute_band(root, list(perm))
+    tile_perfect_nest(root, [tile] * 3)
+    verify(transformed, Context())
+
+    rng = np.random.default_rng(tile)
+    a = rng.random((m, k), dtype=np.float32)
+    b = rng.random((k, n), dtype=np.float32)
+    c1 = np.zeros((m, n), np.float32)
+    c2 = np.zeros((m, n), np.float32)
+    Interpreter(reference).run("gemm", a, b, c1)
+    Interpreter(transformed).run("gemm", a, b, c2)
+    assert_close(c1, c2)
