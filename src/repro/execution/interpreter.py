@@ -423,6 +423,22 @@ def _noop(interp, op, env) -> None:
     pass
 
 
+def _handle_unreachable(interp, op, env) -> None:
+    raise InterpreterError(
+        "executed llvm.unreachable: control flow reached a point the "
+        "lowering marked as impossible (miscompiled CFG)"
+    )
+
+
+def _handle_cfg_terminator(interp, op, env) -> None:
+    # llvm.br / llvm.cond_br are interpreted by the CFG driver; hitting
+    # them through plain dispatch means a branch escaped a single-block
+    # region, which is malformed IR rather than an unhandled op.
+    raise InterpreterError(
+        f"{op.name} outside a multi-block CFG region (malformed IR)"
+    )
+
+
 _HANDLERS = {
     "func.return": _handle_return,
     "func.call": _handle_func_call,
@@ -461,6 +477,10 @@ _HANDLERS = {
     "scf.yield": _noop,
     "llvm.load": _handle_llvm_load,
     "llvm.store": _handle_llvm_store,
+    "llvm.br": _handle_cfg_terminator,
+    "llvm.cond_br": _handle_cfg_terminator,
+    "llvm.unreachable": _handle_unreachable,
+    "linalg.yield": _noop,
     "linalg.matmul": _handle_matmul,
     "linalg.matvec": _handle_matvec,
     "linalg.transpose": _handle_transpose,

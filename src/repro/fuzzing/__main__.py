@@ -1,0 +1,8 @@
+"""``python -m repro.fuzzing`` == ``mlt-fuzz``."""
+
+import sys
+
+from ..tool import fuzz_main
+
+if __name__ == "__main__":
+    sys.exit(fuzz_main())

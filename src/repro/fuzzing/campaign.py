@@ -1,0 +1,379 @@
+"""Budgeted fuzzing campaigns and failure artifacts.
+
+A campaign walks a seed range; each seed deterministically produces one
+random C kernel (through the real MET frontend) and one random
+builder-constructed Affine module, and differentially checks both
+against every configured Figure-9 pipeline.  On failure the campaign
+
+1. bisects the pipeline to the first breaking pass,
+2. delta-debugs C kernels to a minimal reproducer, and
+3. dumps an artifact directory under ``fuzz-failures/``::
+
+       fuzz-failures/seed-000042-mlt-blas/
+           kernel.c        original generated kernel
+           reduced.c       minimal reproducer (C kernels only)
+           report.json     seed, family, stage, culprit pass, diff
+           stage-01-met.mlir, stage-02-....mlir   IR snapshots
+
+Replaying is always ``mlt-fuzz --seed 42`` — the artifact just saves
+you the trip.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .bisect import BisectionResult, bisect_pipeline
+from .generators import GeneratedKernel, generate_affine_module, generate_kernel
+from .oracle import (
+    DEFAULT_PIPELINES,
+    OracleReport,
+    Pipeline,
+    build_pipelines,
+    run_oracle,
+    run_oracle_on_module,
+)
+from .reduce import reduce_source
+
+
+@dataclass
+class FuzzFailure:
+    seed: int
+    pipeline: str
+    kind: str  # c-kernel | affine-module
+    family: str
+    report: OracleReport
+    bisection: Optional[BisectionResult] = None
+    source: str = ""
+    reduced_source: Optional[str] = None
+    artifact_dir: Optional[str] = None
+
+    @property
+    def reduced(self) -> bool:
+        """A failure counts as reduced when it carries a minimal
+        reproducer (C kernels) or needs none (module inputs replay
+        from the seed alone)."""
+        return self.kind == "affine-module" or self.reduced_source is not None
+
+    def summary(self) -> str:
+        lines = [
+            f"seed {self.seed} [{self.kind}/{self.family}] "
+            + self.report.summary()
+        ]
+        if self.bisection is not None:
+            lines.append("  " + self.bisection.summary())
+        if self.artifact_dir:
+            lines.append(f"  artifact: {self.artifact_dir}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CampaignStats:
+    seeds_run: int = 0
+    checks: int = 0
+    stages_checked: int = 0
+    elapsed: float = 0.0
+    failures: List[FuzzFailure] = field(default_factory=list)
+    hit_time_limit: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def unreduced_failures(self) -> List[FuzzFailure]:
+        return [f for f in self.failures if not f.reduced]
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.failures)} FAILURES"
+        lines = [
+            f"mlt-fuzz: {self.seeds_run} seeds, {self.checks} "
+            f"kernel/pipeline checks, {self.stages_checked} stage snapshots "
+            f"in {self.elapsed:.1f}s: {status}"
+            + (" (time limit reached)" if self.hit_time_limit else "")
+        ]
+        for failure in self.failures:
+            lines.append(failure.summary())
+        return "\n".join(lines)
+
+
+class FuzzCampaign:
+    def __init__(
+        self,
+        out_dir: str = "fuzz-failures",
+        pipelines: Optional[Sequence[str]] = None,
+        rtol: float = 2e-3,
+        max_steps: int = 20_000_000,
+        fuzz_tile_size: int = 3,
+        check_modules: bool = True,
+        write_artifacts: bool = True,
+        extra_pipelines: Optional[Dict[str, Pipeline]] = None,
+    ):
+        self.out_dir = out_dir
+        self.rtol = rtol
+        self.max_steps = max_steps
+        self.check_modules = check_modules
+        self.write_artifacts = write_artifacts
+        registry = build_pipelines(fuzz_tile_size)
+        if extra_pipelines:
+            registry.update(extra_pipelines)
+        names = list(pipelines) if pipelines else list(DEFAULT_PIPELINES)
+        unknown = [n for n in names if n not in registry]
+        if unknown:
+            raise ValueError(
+                f"unknown pipeline(s) {unknown}; known: {sorted(registry)}"
+            )
+        self.pipelines: Dict[str, Pipeline] = {
+            name: registry[name] for name in names
+        }
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        num_seeds: int,
+        start_seed: int = 0,
+        time_limit: Optional[float] = None,
+    ) -> CampaignStats:
+        stats = CampaignStats()
+        started = time.perf_counter()
+        for seed in range(start_seed, start_seed + num_seeds):
+            if (
+                time_limit is not None
+                and time.perf_counter() - started > time_limit
+            ):
+                stats.hit_time_limit = True
+                break
+            stats.failures.extend(self.run_seed(seed, stats))
+            stats.seeds_run += 1
+        stats.elapsed = time.perf_counter() - started
+        return stats
+
+    def run_seed(
+        self, seed: int, stats: Optional[CampaignStats] = None
+    ) -> List[FuzzFailure]:
+        stats = stats if stats is not None else CampaignStats()
+        failures: List[FuzzFailure] = []
+        kernel = generate_kernel(seed)
+        expectation = self._check_expectation(seed, kernel)
+        stats.checks += 1
+        if expectation is not None:
+            failures.append(expectation)
+        for name, pipeline in self.pipelines.items():
+            report = run_oracle(
+                kernel.source,
+                pipeline,
+                kernel.func_name,
+                seed=seed,
+                rtol=self.rtol,
+                max_steps=self.max_steps,
+            )
+            stats.checks += 1
+            stats.stages_checked += len(report.stages)
+            if not report.ok:
+                failures.append(
+                    self._handle_c_failure(seed, kernel, pipeline, report)
+                )
+        if self.check_modules:
+            generated = generate_affine_module(seed)
+            for name, pipeline in self.pipelines.items():
+                report = run_oracle_on_module(
+                    generated.module,
+                    pipeline,
+                    generated.func_name,
+                    seed=seed,
+                    rtol=self.rtol,
+                    max_steps=self.max_steps,
+                )
+                stats.checks += 1
+                stats.stages_checked += len(report.stages)
+                if not report.ok:
+                    failures.append(
+                        self._handle_module_failure(
+                            seed, generated, pipeline, report
+                        )
+                    )
+        return failures
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _raises_to_named_op(source: str) -> bool:
+        from ..met import compile_c
+        from ..tactics.raising import raise_affine_to_linalg
+
+        module = compile_c(source)
+        raise_affine_to_linalg(module)
+        return any(
+            op.name in ("linalg.matmul", "linalg.matvec")
+            for func in module.functions
+            for op in func.walk()
+        )
+
+    def _check_expectation(
+        self, seed: int, kernel: GeneratedKernel
+    ) -> Optional[FuzzFailure]:
+        """Tactic-expectation oracle: positive families must raise to a
+        named contraction op, near-miss families must not.  A mismatch
+        is a matcher bug (missed pattern or unsound over-match)."""
+        from .oracle import StageResult
+
+        try:
+            raised = self._raises_to_named_op(kernel.source)
+        except Exception as exc:
+            raised, detail = None, f"raising crashed: {exc}"
+        if raised == kernel.expect_raise:
+            return None
+        if raised is not None:
+            detail = (
+                "tactic matched a near-miss kernel"
+                if raised
+                else "tactic failed to match a positive kernel"
+            )
+        report = OracleReport("raise-expectation", kernel.func_name)
+        report.stages.append(
+            StageResult("raise-linalg", False, "expectation", detail)
+        )
+
+        def still_mismatching(candidate: str) -> bool:
+            return self._raises_to_named_op(candidate) != kernel.expect_raise
+
+        reduced = reduce_source(kernel.source, still_mismatching)
+        failure = FuzzFailure(
+            seed=seed,
+            pipeline="raise-expectation",
+            kind="c-kernel",
+            family=kernel.family,
+            report=report,
+            bisection=None,
+            source=kernel.source,
+            reduced_source=reduced,
+        )
+        if self.write_artifacts:
+            failure.artifact_dir = self._dump(failure)
+        return failure
+
+    def _handle_c_failure(
+        self,
+        seed: int,
+        kernel: GeneratedKernel,
+        pipeline: Pipeline,
+        report: OracleReport,
+    ) -> FuzzFailure:
+        bisection = bisect_pipeline(
+            kernel.source,
+            pipeline,
+            kernel.func_name,
+            seed=seed,
+            rtol=self.rtol,
+            max_steps=self.max_steps,
+        )
+
+        def still_fails(candidate: str) -> bool:
+            candidate_report = run_oracle(
+                candidate,
+                pipeline,
+                kernel.func_name,
+                seed=seed,
+                rtol=self.rtol,
+                max_steps=self.max_steps,
+            )
+            failure = candidate_report.first_failure
+            original = report.first_failure
+            return failure is not None and failure.kind == original.kind
+
+        reduced = reduce_source(kernel.source, still_fails)
+        failure = FuzzFailure(
+            seed=seed,
+            pipeline=pipeline.name,
+            kind="c-kernel",
+            family=kernel.family,
+            report=report,
+            bisection=bisection,
+            source=kernel.source,
+            reduced_source=reduced,
+        )
+        if self.write_artifacts:
+            failure.artifact_dir = self._dump(failure)
+        return failure
+
+    def _handle_module_failure(
+        self, seed: int, generated, pipeline: Pipeline, report: OracleReport
+    ) -> FuzzFailure:
+        from ..ir import print_module
+
+        bisection = bisect_pipeline(
+            generated.module,
+            pipeline,
+            generated.func_name,
+            seed=seed,
+            rtol=self.rtol,
+            max_steps=self.max_steps,
+        )
+        failure = FuzzFailure(
+            seed=seed,
+            pipeline=pipeline.name,
+            kind="affine-module",
+            family="affine-module",
+            report=report,
+            bisection=bisection,
+            source=print_module(generated.module),
+        )
+        if self.write_artifacts:
+            failure.artifact_dir = self._dump(failure)
+        return failure
+
+    # ------------------------------------------------------------------
+
+    def _dump(self, failure: FuzzFailure) -> str:
+        directory = os.path.join(
+            self.out_dir, f"seed-{failure.seed:06d}-{failure.pipeline}"
+        )
+        os.makedirs(directory, exist_ok=True)
+        suffix = ".c" if failure.kind == "c-kernel" else ".mlir"
+        with open(os.path.join(directory, "kernel" + suffix), "w") as handle:
+            handle.write(failure.source)
+        if failure.reduced_source is not None:
+            with open(os.path.join(directory, "reduced.c"), "w") as handle:
+                handle.write(failure.reduced_source)
+        for position, stage in enumerate(failure.report.stages, start=1):
+            if not stage.ir_text:
+                continue
+            name = f"stage-{position:02d}-{stage.stage}.mlir"
+            with open(os.path.join(directory, name), "w") as handle:
+                handle.write(stage.ir_text)
+        first = failure.report.first_failure
+        payload = {
+            "seed": failure.seed,
+            "kind": failure.kind,
+            "family": failure.family,
+            "pipeline": failure.pipeline,
+            "replay": f"mlt-fuzz --seed {failure.seed}",
+            "failing_stage": {
+                "name": first.stage,
+                "kind": first.kind,
+                "detail": first.detail,
+            },
+            "bisection": {
+                "culprit_pass": failure.bisection.culprit_pass,
+                "stage": failure.bisection.stage,
+                "index": failure.bisection.index,
+                "kind": failure.bisection.kind,
+                "detail": failure.bisection.detail,
+            }
+            if failure.bisection is not None
+            else None,
+            "reduced_lines": (
+                len(failure.reduced_source.splitlines())
+                if failure.reduced_source is not None
+                else None
+            ),
+        }
+        with open(os.path.join(directory, "report.json"), "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        return directory

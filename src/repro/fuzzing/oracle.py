@@ -1,0 +1,373 @@
+"""The differential pipeline-stage oracle.
+
+For a given kernel the oracle runs each Figure-9 pipeline *stage by
+stage*, and after every stage checks the module snapshot three ways:
+
+1. **verifier** — the IR must still verify;
+2. **round-trip** — printing, reparsing, and reprinting must reach a
+   fixpoint (printer/parser stay in sync at every abstraction level);
+3. **execution** — the interpreter must produce numerically identical
+   output buffers to the stage-0 (MET output) reference, up to a small
+   float tolerance for reassociated contractions.
+
+A stage that raises, fails verification, breaks the round-trip, or
+diverges numerically produces a :class:`StageResult` failure; the
+campaign then hands the kernel to the bisector and reducer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir import Context, ModuleOp, Pass, VerificationError, print_module, verify
+from ..ir.parser import parse_module
+from ..met import compile_c
+
+#: (pass-name, zero-arg factory) — fresh pass instances per replay.
+PassSpec = Tuple[str, Callable[[], Pass]]
+
+
+@dataclass
+class PipelineStage:
+    name: str
+    passes: List[PassSpec] = field(default_factory=list)
+
+
+@dataclass
+class Pipeline:
+    name: str
+    stages: List[PipelineStage] = field(default_factory=list)
+
+    def flat_passes(self) -> List[Tuple[str, str, Callable[[], Pass]]]:
+        """(stage name, pass name, factory) for every pass in order."""
+        return [
+            (stage.name, pass_name, factory)
+            for stage in self.stages
+            for pass_name, factory in stage.passes
+        ]
+
+
+def build_pipelines(fuzz_tile_size: int = 3) -> Dict[str, Pipeline]:
+    """The Figure-9 flows, staged for differential checking.
+
+    ``fuzz_tile_size`` is deliberately tiny so the tiling pass actually
+    fires on the small extents the generators emit (the production
+    default of 32 would be a silent no-op).
+    """
+    from ..tactics.raising import RaiseAffineToAffinePass, RaiseAffineToLinalgPass
+    from ..transforms import (
+        AffineToSCFPass,
+        CanonicalizePass,
+        ExpandAffineMatmulPass,
+        LinalgToAffinePass,
+        LinalgToBlasPass,
+        LoopDistributionPass,
+        SCFToLLVMPass,
+        TileLoopNestPass,
+    )
+
+    canonical = PipelineStage(
+        "distribute-canonicalize",
+        [
+            ("affine-loop-distribution", LoopDistributionPass),
+            ("canonicalize", CanonicalizePass),
+        ],
+    )
+
+    def met_stage() -> PipelineStage:
+        return PipelineStage("met", [])
+
+    return {
+        "mlt-linalg": Pipeline(
+            "mlt-linalg",
+            [
+                met_stage(),
+                canonical,
+                PipelineStage(
+                    "raise-linalg",
+                    [("raise-affine-to-linalg", RaiseAffineToLinalgPass)],
+                ),
+                PipelineStage(
+                    "tile-lower",
+                    [
+                        ("convert-linalg-to-affine-loops", LinalgToAffinePass),
+                        (
+                            "affine-loop-tile",
+                            lambda: TileLoopNestPass(fuzz_tile_size),
+                        ),
+                    ],
+                ),
+            ],
+        ),
+        "mlt-blas": Pipeline(
+            "mlt-blas",
+            [
+                met_stage(),
+                canonical,
+                PipelineStage(
+                    "raise-linalg",
+                    [("raise-affine-to-linalg", RaiseAffineToLinalgPass)],
+                ),
+                PipelineStage(
+                    "blas-substitution",
+                    [("convert-linalg-to-blas", LinalgToBlasPass)],
+                ),
+            ],
+        ),
+        "mlt-affine": Pipeline(
+            "mlt-affine",
+            [
+                met_stage(),
+                canonical,
+                PipelineStage(
+                    "raise-affine",
+                    [("raise-affine-to-affine", RaiseAffineToAffinePass)],
+                ),
+                PipelineStage(
+                    "expand-matmul",
+                    [("affine-expand-matmul", ExpandAffineMatmulPass)],
+                ),
+                PipelineStage(
+                    "lower-llvm",
+                    [
+                        ("lower-affine", AffineToSCFPass),
+                        ("convert-scf-to-llvm", SCFToLLVMPass),
+                    ],
+                ),
+            ],
+        ),
+    }
+
+
+DEFAULT_PIPELINES: Tuple[str, ...] = ("mlt-linalg", "mlt-blas", "mlt-affine")
+
+
+# ----------------------------------------------------------------------
+# Per-snapshot checks
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class StageResult:
+    stage: str
+    ok: bool
+    kind: str = "ok"  # ok | crash | verify | roundtrip | execute | diff
+    detail: str = ""
+    ir_text: str = ""
+
+
+@dataclass
+class OracleReport:
+    pipeline: str
+    func_name: str
+    stages: List[StageResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(s.ok for s in self.stages)
+
+    @property
+    def first_failure(self) -> Optional[StageResult]:
+        for stage in self.stages:
+            if not stage.ok:
+                return stage
+        return None
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"{self.pipeline}: ok ({len(self.stages)} stages)"
+        failure = self.first_failure
+        return (
+            f"{self.pipeline}: FAIL at stage '{failure.stage}' "
+            f"[{failure.kind}] {failure.detail}"
+        )
+
+
+def make_args(
+    shapes: Sequence[Tuple[int, ...]], seed: int
+) -> List[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [
+        rng.random(shape, dtype=np.float32) * 0.5 for shape in shapes
+    ]
+
+
+def module_arg_shapes(module: ModuleOp, func_name: str) -> List[Tuple[int, ...]]:
+    func = module.lookup(func_name)
+    if func is None:
+        raise ValueError(f"no function @{func_name} in module")
+    return [tuple(arg.type.shape) for arg in func.arguments]
+
+
+def execute_snapshot(
+    module: ModuleOp,
+    func_name: str,
+    base_args: Sequence[np.ndarray],
+    max_steps: int = 20_000_000,
+) -> List[np.ndarray]:
+    from ..execution import Interpreter
+
+    args = [a.copy() for a in base_args]
+    Interpreter(module, max_steps=max_steps).run(func_name, *args)
+    return args
+
+
+def _diff_detail(
+    reference: Sequence[np.ndarray], actual: Sequence[np.ndarray], rtol: float
+) -> str:
+    parts = []
+    for pos, (ref, act) in enumerate(zip(reference, actual)):
+        if not np.allclose(ref, act, rtol=rtol, atol=1e-5):
+            err = float(np.max(np.abs(ref - act)))
+            bad = int(np.sum(~np.isclose(ref, act, rtol=rtol, atol=1e-5)))
+            parts.append(
+                f"arg {pos}: {bad}/{ref.size} elements differ, "
+                f"max abs error {err:.3e}"
+            )
+    return "; ".join(parts)
+
+
+def check_module(
+    module: ModuleOp,
+    func_name: str,
+    base_args: Sequence[np.ndarray],
+    reference: Optional[Sequence[np.ndarray]],
+    stage_name: str,
+    rtol: float = 2e-3,
+    max_steps: int = 20_000_000,
+) -> Tuple[StageResult, Optional[List[np.ndarray]]]:
+    """Verify + round-trip + execute one snapshot.
+
+    Returns the stage result and, on success, the snapshot's output
+    buffers (the reference when ``reference`` is None).
+    """
+    try:
+        verify(module, Context())
+    except VerificationError as exc:
+        return StageResult(stage_name, False, "verify", str(exc)), None
+    except Exception as exc:
+        return StageResult(stage_name, False, "crash", f"verifier: {exc}"), None
+    try:
+        text = print_module(module)
+    except Exception as exc:
+        return StageResult(stage_name, False, "crash", f"printer: {exc}"), None
+    try:
+        reparsed = parse_module(text)
+        verify(reparsed, Context())
+        text2 = print_module(reparsed)
+        if text2 != text:
+            return (
+                StageResult(
+                    stage_name,
+                    False,
+                    "roundtrip",
+                    "print->parse->print is not a fixpoint",
+                    text,
+                ),
+                None,
+            )
+    except Exception as exc:
+        return (
+            StageResult(stage_name, False, "roundtrip", str(exc), text),
+            None,
+        )
+    try:
+        outputs = execute_snapshot(module, func_name, base_args, max_steps)
+    except Exception as exc:
+        return (
+            StageResult(stage_name, False, "execute", str(exc), text),
+            None,
+        )
+    if reference is not None:
+        detail = _diff_detail(reference, outputs, rtol)
+        if detail:
+            return (
+                StageResult(stage_name, False, "diff", detail, text),
+                None,
+            )
+    return StageResult(stage_name, True, "ok", "", text), outputs
+
+
+# ----------------------------------------------------------------------
+# Oracle drivers
+# ----------------------------------------------------------------------
+
+
+def run_oracle(
+    source: str,
+    pipeline: Pipeline,
+    func_name: str,
+    seed: int = 0,
+    rtol: float = 2e-3,
+    max_steps: int = 20_000_000,
+) -> OracleReport:
+    """Differentially test one C kernel against one pipeline."""
+    report = OracleReport(pipeline.name, func_name)
+    try:
+        # Distribution is a checked stage of its own, not a frontend
+        # side effect, so enter undistributed.
+        module = compile_c(source, distribute=False)
+    except Exception as exc:
+        report.stages.append(
+            StageResult("met", False, "crash", f"frontend: {exc}")
+        )
+        return report
+    return _drive_stages(
+        report, module, pipeline, func_name, seed, rtol, max_steps
+    )
+
+
+def run_oracle_on_module(
+    module: ModuleOp,
+    pipeline: Pipeline,
+    func_name: str,
+    seed: int = 0,
+    rtol: float = 2e-3,
+    max_steps: int = 20_000_000,
+) -> OracleReport:
+    """Differentially test a builder-constructed module (skips MET)."""
+    report = OracleReport(pipeline.name, func_name)
+    return _drive_stages(
+        report, module.clone(), pipeline, func_name, seed, rtol, max_steps
+    )
+
+
+def _drive_stages(
+    report: OracleReport,
+    module: ModuleOp,
+    pipeline: Pipeline,
+    func_name: str,
+    seed: int,
+    rtol: float,
+    max_steps: int,
+) -> OracleReport:
+    shapes = module_arg_shapes(module, func_name)
+    base_args = make_args(shapes, seed)
+    reference: Optional[List[np.ndarray]] = None
+    for stage in pipeline.stages:
+        try:
+            for _, factory in stage.passes:
+                factory().run(module, Context())
+        except Exception as exc:
+            report.stages.append(
+                StageResult(stage.name, False, "crash", str(exc))
+            )
+            return report
+        result, outputs = check_module(
+            module,
+            func_name,
+            base_args,
+            reference,
+            stage.name,
+            rtol=rtol,
+            max_steps=max_steps,
+        )
+        report.stages.append(result)
+        if not result.ok:
+            return report
+        if reference is None:
+            reference = outputs
+    return report

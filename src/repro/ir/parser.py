@@ -31,7 +31,7 @@ from .attributes import (
     TypeAttr,
 )
 from .builtin import FuncOp, ModuleOp, ReturnOp
-from .core import Block, IRError, Operation, create_operation
+from .core import Block, IRError, Operation, Region, create_operation
 from .types import (
     DYNAMIC,
     F32Type,
@@ -324,6 +324,12 @@ class Parser:
                 if self.peek().kind == "BLOCKREF":
                     label = self.next().text
                     block = self._block_for_label(region, label)
+                    # A forward branch reference may have created the
+                    # block early; re-anchor it at its *definition*
+                    # position so block order (and thus the printed
+                    # form) round-trips exactly.
+                    region.blocks.remove(block)
+                    region.blocks.append(block)
                     if self.accept("("):
                         while not self.accept(")"):
                             arg_name = self.expect_kind("SSA").text
@@ -655,6 +661,30 @@ def _parse_scf_for(p: Parser, region) -> Operation:
     return op
 
 
+def _parse_scf_if(p: Parser, region) -> Operation:
+    from ..dialects.scf import IfOp, YieldOp
+
+    p.expect("scf.if")
+    cond = p.parse_ssa_use()
+    op = IfOp.create(cond)
+    p.expect("{")
+    then = op.then_block
+    term = then.operations.pop()
+    term.parent_block = None
+    p.parse_region_body(op.regions[0], then)
+    if then.terminator is None:
+        then.append(term)
+    if p.accept("else"):
+        else_region = Region(op)
+        op.regions.append(else_region)
+        els = else_region.add_block()
+        p.expect("{")
+        p.parse_region_body(else_region, els)
+        if els.terminator is None:
+            els.append(YieldOp.create())
+    return op
+
+
 def _parse_linalg_generic(p: Parser, region) -> Operation:
     from ..dialects.linalg import GenericOp, LinalgYieldOp
 
@@ -791,6 +821,7 @@ _CUSTOM_PARSERS = {
     "affine.store": _parse_affine_store,
     "affine.apply": _parse_affine_apply,
     "scf.for": _parse_scf_for,
+    "scf.if": _parse_scf_if,
     "linalg.generic": _parse_linalg_generic,
     "linalg.yield": _parse_linalg_yield,
     "llvm.br": _parse_branch,

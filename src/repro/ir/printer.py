@@ -289,6 +289,15 @@ def _print_scf_for(printer: Printer, op) -> None:
     printer.emit("}")
 
 
+def _print_scf_if(printer: Printer, op) -> None:
+    printer.emit(f"scf.if {printer.namer(op.condition)} {{")
+    printer.print_single_block_region(op.then_block)
+    if len(op.regions) > 1:
+        printer.emit("} else {")
+        printer.print_single_block_region(op.else_block)
+    printer.emit("}")
+
+
 def _print_generic_linalg(printer: Printer, op) -> None:
     ins = ", ".join(printer.namer(v) for v in op.inputs)
     outs = ", ".join(printer.namer(v) for v in op.outputs)
@@ -365,6 +374,7 @@ _CUSTOM_PRINTERS = {
     "affine.apply": _print_affine_apply,
     "affine.matmul": _print_triple,
     "scf.for": _print_scf_for,
+    "scf.if": _print_scf_if,
     "linalg.matmul": _print_triple,
     "linalg.matvec": _print_triple,
     "linalg.conv2d_nchw": _print_triple,

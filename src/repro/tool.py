@@ -18,7 +18,9 @@ import sys
 from typing import Callable, Dict, List
 
 from .ir import Context, ModuleOp, Pass, PassManager, print_module, verify
-from .ir.parser import parse_module
+from .ir.parser import ParseError, parse_module
+from .met import CSyntaxError
+from .met.c_lexer import CLexError
 
 
 def _generic_raising_pass():
@@ -145,7 +147,11 @@ def main(argv: List[str] = None) -> int:
     )
     args = parser.parse_args(rest)
 
-    module = load_input(args.input, args.source)
+    try:
+        module = load_input(args.input, args.source)
+    except (CSyntaxError, CLexError, ParseError) as exc:
+        sys.stderr.write(f"mlt-opt: {args.input}: {exc}\n")
+        return 1
     pm = build_pipeline(pass_names)
     timing = pm.run(module)
     if not args.no_verify:
@@ -172,6 +178,110 @@ def main(argv: List[str] = None) -> int:
                 f"{report.gflops:.2f} GFLOP/s on {machine.name}\n"
             )
     return 0
+
+
+def fuzz_main(argv: List[str] = None) -> int:
+    """``mlt-fuzz``: the differential fuzzing driver.
+
+    Budgeted runs (``--seeds``/``--time-limit``), a fast ``--smoke``
+    mode for CI, and single-seed replay (``--seed N``) for reproducing
+    an artifact from ``fuzz-failures/``.
+    """
+    from .fuzzing import FuzzCampaign
+
+    parser = argparse.ArgumentParser(
+        prog="mlt-fuzz",
+        description=(
+            "Differential fuzzer: random kernels through the Figure-9 "
+            "pipelines, interpreted after every stage; failures are "
+            "bisected to a pass and reduced to a minimal reproducer."
+        ),
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=50, help="number of seeds to run"
+    )
+    parser.add_argument(
+        "--start-seed", type=int, default=0, help="first seed of the range"
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        help="replay a single seed verbosely (overrides --seeds)",
+    )
+    parser.add_argument(
+        "--time-limit",
+        type=float,
+        help="stop starting new seeds after this many seconds",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI budget: 30 seeds under a 60 second limit",
+    )
+    parser.add_argument(
+        "--pipelines",
+        help="comma-separated pipeline subset (default: all Figure-9 flows)",
+    )
+    parser.add_argument(
+        "--out",
+        default="fuzz-failures",
+        help="artifact directory for failures (default: fuzz-failures)",
+    )
+    parser.add_argument(
+        "--rtol",
+        type=float,
+        default=2e-3,
+        help="relative tolerance for the differential comparison",
+    )
+    parser.add_argument(
+        "--no-modules",
+        action="store_true",
+        help="skip the builder-API affine-module generator",
+    )
+    parser.add_argument(
+        "--no-artifacts",
+        action="store_true",
+        help="report failures without writing fuzz-failures/",
+    )
+    args = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
+
+    pipelines = args.pipelines.split(",") if args.pipelines else None
+    try:
+        campaign = FuzzCampaign(
+            out_dir=args.out,
+            pipelines=pipelines,
+            rtol=args.rtol,
+            check_modules=not args.no_modules,
+            write_artifacts=not args.no_artifacts,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    if args.seed is not None:
+        from .fuzzing import generate_kernel
+
+        kernel = generate_kernel(args.seed)
+        sys.stderr.write(
+            f"seed {args.seed}: family={kernel.family} "
+            f"expect_raise={kernel.expect_raise}\n{kernel.source}\n"
+        )
+        failures = campaign.run_seed(args.seed)
+        if not failures:
+            sys.stderr.write(f"seed {args.seed}: all pipelines agree\n")
+            return 0
+        for failure in failures:
+            sys.stderr.write(failure.summary() + "\n")
+        return 1
+
+    num_seeds, time_limit = args.seeds, args.time_limit
+    if args.smoke:
+        num_seeds = min(num_seeds, 30)
+        time_limit = 60.0 if time_limit is None else min(time_limit, 60.0)
+    stats = campaign.run(
+        num_seeds, start_seed=args.start_seed, time_limit=time_limit
+    )
+    sys.stderr.write(stats.summary() + "\n")
+    return 0 if stats.ok else 1
 
 
 if __name__ == "__main__":

@@ -1,9 +1,48 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Also registers the hypothesis profiles declared in pyproject.toml
+(``[tool.repro.hypothesis.profiles.*]``): ``tier1`` keeps the default
+run fast, ``nightly`` widens example counts for scheduled fuzz runs.
+Select with ``HYPOTHESIS_PROFILE=nightly``.
+"""
 
 from __future__ import annotations
 
+import os
+import pathlib
+import tomllib
+
 import numpy as np
 import pytest
+from hypothesis import settings as hypothesis_settings
+
+
+def _register_hypothesis_profiles() -> None:
+    pyproject = pathlib.Path(__file__).resolve().parent.parent / "pyproject.toml"
+    profiles = {
+        "tier1": {"max_examples": 25, "deadline": 0},
+        "nightly": {"max_examples": 400, "deadline": 0},
+    }
+    try:
+        with open(pyproject, "rb") as handle:
+            data = tomllib.load(handle)
+        declared = data["tool"]["repro"]["hypothesis"]["profiles"]
+        profiles.update(declared)
+    except (OSError, KeyError, tomllib.TOMLDecodeError):
+        pass  # fall back to the built-in defaults above
+    for name, options in profiles.items():
+        deadline = options.get("deadline", 0)
+        hypothesis_settings.register_profile(
+            name,
+            max_examples=int(options.get("max_examples", 25)),
+            deadline=None if not deadline else deadline,
+        )
+    hypothesis_settings.load_profile(
+        os.environ.get("HYPOTHESIS_PROFILE", "tier1")
+    )
+
+
+_register_hypothesis_profiles()
 
 from repro.dialects import affine as affine_d
 from repro.dialects import std

@@ -1,0 +1,112 @@
+"""The random-kernel generators: validity, determinism, and tactic
+expectations (positive families must raise, near-misses must not)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzzing.generators import (
+    KERNEL_FAMILIES,
+    generate_affine_module,
+    generate_kernel,
+    unparse_unit,
+)
+from repro.ir import Context, print_module, verify
+from repro.ir.parser import parse_module
+from repro.met import compile_c, parse_c
+from repro.tactics.raising import raise_affine_to_linalg
+
+SEEDS = st.integers(min_value=0, max_value=10_000)
+
+
+def _raised_named_ops(source):
+    module = compile_c(source)
+    raise_affine_to_linalg(module)
+    return [
+        op.name
+        for func in module.functions
+        for op in func.walk()
+        if op.name.startswith("linalg.")
+    ]
+
+
+class TestCKernelGenerator:
+    @given(SEEDS)
+    def test_generated_source_compiles_through_met(self, seed):
+        kernel = generate_kernel(seed)
+        module = compile_c(kernel.source)
+        verify(module, Context())
+        assert module.lookup(kernel.func_name) is not None
+
+    @given(SEEDS)
+    def test_generation_is_deterministic(self, seed):
+        assert generate_kernel(seed).source == generate_kernel(seed).source
+
+    @given(SEEDS)
+    def test_unparse_parse_unparse_fixpoint(self, seed):
+        kernel = generate_kernel(seed)
+        reparsed = parse_c(kernel.source)
+        assert unparse_unit(reparsed) == kernel.source
+
+    @given(SEEDS)
+    @settings(max_examples=30)
+    def test_tactic_expectation_holds(self, seed):
+        """expect_raise is an exact oracle for the stock tactics: every
+        positive family raises to a named contraction, every near-miss
+        stays as loops."""
+        kernel = generate_kernel(seed)
+        has_contraction = any(
+            name in ("linalg.matmul", "linalg.matvec")
+            for name in _raised_named_ops(kernel.source)
+        )
+        assert has_contraction == kernel.expect_raise
+
+    @pytest.mark.parametrize("family", sorted(KERNEL_FAMILIES))
+    def test_every_family_constructs(self, family):
+        kernel = generate_kernel(7, family=family)
+        assert kernel.family == family
+        module = compile_c(kernel.source)
+        verify(module, Context())
+
+    @pytest.mark.parametrize(
+        "family", ["matmul-transposed", "matmul-offset", "matmul-subtract"]
+    )
+    def test_near_miss_is_not_raised_to_matmul(self, family):
+        kernel = generate_kernel(11, family=family)
+        assert not kernel.expect_raise
+        assert "linalg.matmul" not in _raised_named_ops(kernel.source)
+
+    def test_matmul_family_is_raised(self):
+        kernel = generate_kernel(11, family="matmul")
+        assert kernel.expect_raise
+        assert "linalg.matmul" in _raised_named_ops(kernel.source)
+
+
+class TestAffineModuleGenerator:
+    @given(SEEDS)
+    @settings(max_examples=30)
+    def test_module_verifies_and_roundtrips(self, seed):
+        generated = generate_affine_module(seed)
+        verify(generated.module, Context())
+        text = print_module(generated.module)
+        reparsed = parse_module(text)
+        verify(reparsed, Context())
+        assert print_module(reparsed) == text
+
+    @given(SEEDS)
+    @settings(max_examples=15)
+    def test_module_executes(self, seed):
+        from repro.execution import Interpreter
+
+        generated = generate_affine_module(seed)
+        args = [
+            np.zeros(shape, np.float32) for shape in generated.arg_shapes
+        ]
+        args[0][:] = np.linspace(0, 1, args[0].size).reshape(args[0].shape)
+        Interpreter(generated.module).run(generated.func_name, *args)
+
+    def test_deterministic(self):
+        a = print_module(generate_affine_module(5).module)
+        b = print_module(generate_affine_module(5).module)
+        assert a == b

@@ -1,0 +1,177 @@
+"""MET negative tests: malformed C must produce *clean diagnostics*.
+
+Every rejection path in the frontend must surface as one of the three
+diagnostic exception types (CLexError, CSyntaxError, CNotAffineError)
+with an actionable message — never a raw IndexError/KeyError/
+AttributeError from deep inside the lexer, parser, or emitter.  The
+fuzzer leans on this contract: ``FuzzCampaign`` treats a non-diagnostic
+exception from ``compile_c`` as a frontend crash worth an artifact.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.met import CNotAffineError, CSyntaxError, compile_c
+from repro.met.c_lexer import CLexError
+
+#: The only exceptions the frontend is allowed to raise.  CNotAffineError
+#: subclasses CSyntaxError, so the pair below covers all three.
+DIAGNOSTICS = (CLexError, CSyntaxError)
+
+
+class TestLexDiagnostics:
+    @pytest.mark.parametrize("source", ["@", "`", "void f() { $ }", "a ~ b"])
+    def test_unexpected_character(self, source):
+        with pytest.raises(CLexError, match="unexpected character"):
+            compile_c(source)
+
+
+class TestSyntaxDiagnostics:
+    @pytest.mark.parametrize(
+        "source, message",
+        [
+            ("what even is this", "expected return type"),
+            ("f() { }", "expected return type"),
+            ("void f(float A[4]);", "expected '{'"),
+            ("void f(float A[4] { }", "bad parameter type"),
+            ("void f(float [4]) { }", "expected identifier"),
+            (
+                "void f(float A[4]) { for (int i = 0; i < 4; i++) A[i] = 0 }",
+                "expected ';'",
+            ),
+            (
+                "void f(float A[4]) { for (int i = 0; i < 4; i++) { A[i] = 0;",
+                "unexpected token",
+            ),
+            ("void f(float A[4]) { A[0 = 1; }", r"expected '\]'"),
+            ("void f(float A[4]) { A[0] = A[1] = 0; }", "expected ';'"),
+            ("void f(float A[4]) { A[0] += ; }", "unexpected token"),
+            ("void f(float A[4]) { A[0] = B[0]; }", "unknown array 'B'"),
+            (
+                "void f(float A[4]) { while (1) { A[0] = 0; } }",
+                "assignment target must be an array reference",
+            ),
+            (
+                "void f(float A[4]) { x = 1; }",
+                "assignment target must be an array reference",
+            ),
+            (
+                "void f(float A[4]) { float x; x = A[0]; }",
+                "scalar locals are not supported",
+            ),
+            ("void f(float A[4]) { if (1) A[0] = 0; }", "unexpected token"),
+            ("int f() { return 3; }", "unexpected token"),
+            (
+                "void f(float A[4]) { for (int i = 4; i > 0; i--) A[i] = 0; }",
+                "unsupported loop comparison",
+            ),
+            (
+                "void f(float A[4][4]) { for (int i = 0; i < 4; i++)"
+                " for (int j = 0; i < 4; j++) A[i][j] = 0; }",
+                "loop condition tests 'i', expected 'j'",
+            ),
+        ],
+    )
+    def test_clean_message(self, source, message):
+        with pytest.raises(CSyntaxError, match=message):
+            compile_c(source)
+
+    def test_syntax_errors_carry_line_numbers(self):
+        source = "void f(float A[4]) {\n  for (int i = 0; i < 4; i++)\n    A[i] = 0\n}\n"
+        with pytest.raises(CSyntaxError, match=r"line [34]"):
+            compile_c(source)
+
+
+class TestAffineDiagnostics:
+    """Structurally valid C outside the polyhedral subset → CNotAffineError."""
+
+    @pytest.mark.parametrize(
+        "source, message",
+        [
+            (
+                "void mm(float A[4][4], float B[4][4]) {"
+                " for (int i = 0; i < 4; i++) for (int j = 0; j < 4; j++)"
+                " A[i*j][j] = B[i][j]; }",
+                "non-affine subscript",
+            ),
+            (
+                "void f(float A[16]) { for (int i = 0; i < 4; i++)"
+                " A[i*i] = 1; }",
+                "non-affine subscript",
+            ),
+            (
+                "void f(float A[4]) { for (int i = 0; i < 4; i++)"
+                " A[i/2] = 0; }",
+                "non-affine subscript",
+            ),
+            (
+                "void f(float A[4]) { for (int i = 0; i < A[0]; i++)"
+                " A[i] = 0; }",
+                "non-affine loop bound",
+            ),
+            ("void f(float A[4]) { A[1.5] = 0; }", "float array subscript"),
+            ("void f(float A[4]) { A[0][1] = 0; }", "2 subscripts for rank-1"),
+            (
+                "void f(float A[4][4]) { for (int i = 0; i < 4; i++)"
+                " A[i] = 0; }",
+                "1 subscripts for rank-2",
+            ),
+            (
+                "void f(float A[4]) { for (int i = 0; i < 4; i++)"
+                " { A[i] = 0; } A[i] = 1; }",
+                "not an enclosing induction variable",
+            ),
+            ("void f(int A[4]) { A[0] = 0; }", "integer array parameter"),
+        ],
+    )
+    def test_clean_message(self, source, message):
+        with pytest.raises(CNotAffineError, match=message):
+            compile_c(source)
+
+    def test_not_affine_is_a_syntax_error_subclass(self):
+        # callers that only catch CSyntaxError still see affine rejections
+        assert issubclass(CNotAffineError, CSyntaxError)
+
+
+VALID_KERNEL = """\
+void mm(float A[4][6], float B[6][5], float C[4][5]) {
+  for (int i = 0; i < 4; i++)
+    for (int j = 0; j < 5; j++)
+      for (int k = 0; k < 6; k++)
+        C[i][j] += A[i][k] * B[k][j];
+}
+"""
+
+
+class TestNoRawCrashes:
+    """Property: whatever bytes come in, only diagnostics come out."""
+
+    @given(st.text(max_size=120))
+    def test_arbitrary_text_never_crashes(self, source):
+        try:
+            compile_c(source)
+        except DIAGNOSTICS:
+            pass  # clean rejection
+
+    @given(
+        st.integers(min_value=0, max_value=len(VALID_KERNEL) - 1),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_truncated_kernel_never_crashes(self, start, length):
+        mutated = VALID_KERNEL[:start] + VALID_KERNEL[start + length :]
+        try:
+            compile_c(mutated)
+        except DIAGNOSTICS:
+            pass
+
+    @given(
+        st.integers(min_value=0, max_value=len(VALID_KERNEL) - 1),
+        st.sampled_from("[]{}();=+*<"),
+    )
+    def test_injected_punctuation_never_crashes(self, position, char):
+        mutated = VALID_KERNEL[:position] + char + VALID_KERNEL[position:]
+        try:
+            compile_c(mutated)
+        except DIAGNOSTICS:
+            pass
