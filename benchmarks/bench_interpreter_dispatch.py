@@ -1,0 +1,44 @@
+"""Micro-benchmark guard for interpreter op dispatch.
+
+``Interpreter.execute_op`` memoizes its ``_HANDLERS`` lookup on the op
+instance, so a loop-body op resolves its handler exactly once no matter
+how many iterations execute.  This file keeps a wall-clock figure on
+the hot path (pytest-benchmark) and asserts the memoization actually
+happened after a run.
+"""
+
+from repro.evaluation.kernels import gemm_source
+from repro.execution import Interpreter
+from repro.execution.interpreter import _HANDLERS
+from repro.fuzzing.oracle import make_args, module_arg_shapes
+from repro.met import compile_c
+
+N = 16
+
+
+def _setup():
+    module = compile_c(gemm_source(N, N, N, init=False))
+    args = make_args(module_arg_shapes(module, "gemm"), 0)
+    return module, args
+
+
+def test_interpreter_dispatch_microbench(benchmark):
+    module, args = _setup()
+
+    def run():
+        Interpreter(module).run("gemm", *[a.copy() for a in args])
+
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+
+    # Guard: after a run, every dispatched op carries its memoized
+    # handler (terminators like affine.yield never reach execute_op and
+    # legitimately stay cold).
+    cached = [
+        op
+        for func in module.functions
+        for op in func.walk()
+        if op._interp_handler is not None
+    ]
+    assert cached, "no op memoized a handler"
+    for op in cached:
+        assert op._interp_handler is _HANDLERS[op.name], op.name

@@ -1,16 +1,37 @@
-"""Shared reporting utilities for the benchmark suite.
+"""Shared reporting and measurement utilities for the benchmark suite.
 
 Every benchmark regenerates one table or figure of the paper and
 reports rows in the same layout, writing a copy under
-``benchmarks/results/`` so the numbers survive the pytest run.
+``benchmarks/results/`` so the numbers survive the pytest run —
+``report`` for human-readable text tables, ``report_json`` for
+machine-readable rows (``BENCH_*.json``).
+
+This module is also runnable — the bench-smoke entry point::
+
+    PYTHONPATH=src python -m benchmarks.harness --engine both
+
+pushes one small Figure-9 kernel through the baseline and the raised
+(BLAS) pipelines on the selected execution backend(s), checks that the
+interpreter and the compiled engine agree numerically, and writes
+``benchmarks/results/BENCH_fig9.json``.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
-from typing import List, Sequence
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+ENGINES = ("interpret", "compiled")
+
+#: Wall-clock measurements use a generous interpreter step budget — the
+#: point is to measure slow execution, not to abort it.
+MEASURE_MAX_STEPS = 2_000_000_000
 
 
 def format_table(
@@ -43,3 +64,187 @@ def report(name: str, text: str) -> str:
         handle.write(text + "\n")
     print("\n" + text + "\n")
     return path
+
+
+def report_json(name: str, payload) -> str:
+    """Persist one machine-readable benchmark report.
+
+    ``payload`` is typically ``{"rows": [...]}`` where each row follows
+    the schema ``{benchmark, kernel, pipeline, engine, wall_time_s,
+    checksum}``.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Measured execution
+# ----------------------------------------------------------------------
+
+
+def checksum(buffers) -> float:
+    """Order-independent scalar digest of the output buffers."""
+    return float(sum(float(buf.sum()) for buf in buffers))
+
+
+def run_measured(
+    module,
+    func_name: str,
+    engine: str,
+    pipeline: str = "",
+    seed: int = 0,
+):
+    """Execute one function on deterministic random inputs.
+
+    Returns ``(wall_time_s, checksum, buffers)``.  For the compiled
+    engine, construction (codegen or cache hit) happens outside the
+    timed region — the measurement is steady-state kernel execution,
+    the quantity Figure 9 reports.
+    """
+    from repro.fuzzing.oracle import make_args, module_arg_shapes
+
+    args = make_args(module_arg_shapes(module, func_name), seed)
+    if engine == "compiled":
+        from repro.execution import ExecutionEngine
+
+        runner = ExecutionEngine(module, pipeline=pipeline)
+    elif engine == "interpret":
+        from repro.execution import Interpreter
+
+        runner = Interpreter(module, max_steps=MEASURE_MAX_STEPS)
+    else:
+        raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
+    start = time.perf_counter()
+    runner.run(func_name, *args)
+    wall = time.perf_counter() - start
+    return wall, checksum(args), args
+
+
+def measure_pipelines(
+    source: str,
+    func_name: str,
+    kernel: str,
+    engines: Sequence[str],
+    pipelines: Sequence[str] = ("baseline", "mlt-blas"),
+    seed: int = 0,
+    benchmark: str = "fig9",
+    tile: int = 32,
+    rtol: float = 2e-3,
+) -> List[Dict]:
+    """Measure one kernel across pipelines and engines.
+
+    Returns ``BENCH_*`` schema rows.  When more than one engine is
+    requested the backends' output buffers are compared per pipeline and
+    a mismatch raises ``AssertionError`` — this is the bench-smoke
+    agreement check.
+    """
+    import numpy as np
+
+    from repro.evaluation.pipelines import build_module
+
+    rows: List[Dict] = []
+    for pipeline in pipelines:
+        module = build_module(source, pipeline, tile=tile)
+        outputs = {}
+        for engine in engines:
+            wall, digest, buffers = run_measured(
+                module, func_name, engine, pipeline=pipeline, seed=seed
+            )
+            outputs[engine] = buffers
+            rows.append(
+                {
+                    "benchmark": benchmark,
+                    "kernel": kernel,
+                    "pipeline": pipeline,
+                    "engine": engine,
+                    "wall_time_s": wall,
+                    "checksum": digest,
+                }
+            )
+        if len(outputs) > 1:
+            reference = outputs[engines[0]]
+            for engine in engines[1:]:
+                for pos, (ref, act) in enumerate(
+                    zip(reference, outputs[engine])
+                ):
+                    assert np.allclose(ref, act, rtol=rtol, atol=1e-5), (
+                        f"{kernel}/{pipeline}: {engines[0]} and {engine} "
+                        f"disagree on arg {pos}"
+                    )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Bench-smoke CLI
+# ----------------------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.harness",
+        description=(
+            "Bench smoke: run one small Figure-9 kernel through the "
+            "baseline and raised (BLAS) pipelines, compare execution "
+            "backends, and write results/BENCH_fig9.json."
+        ),
+    )
+    parser.add_argument(
+        "--engine",
+        choices=[*ENGINES, "both"],
+        default="both",
+        help="execution backend(s); 'both' also cross-checks agreement",
+    )
+    parser.add_argument(
+        "--kernel",
+        default="gemm",
+        help="paper benchmark name (default: gemm)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="input RNG seed"
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_fig9",
+        help="results/<out>.json report name (default: BENCH_fig9)",
+    )
+    args = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
+
+    from repro.evaluation import get_kernel
+
+    spec = get_kernel(args.kernel)
+    engines = list(ENGINES) if args.engine == "both" else [args.engine]
+    rows = measure_pipelines(
+        spec.small(),
+        spec.func_name,
+        args.kernel,
+        engines,
+        seed=args.seed,
+    )
+    path = report_json(args.out, {"rows": rows})
+    table = format_table(
+        f"bench-smoke — {args.kernel} (small), wall-clock seconds",
+        ["kernel", "pipeline", "engine", "wall_time_s", "checksum"],
+        [
+            (
+                r["kernel"],
+                r["pipeline"],
+                r["engine"],
+                f"{r['wall_time_s']:.6f}",
+                f"{r['checksum']:.6f}",
+            )
+            for r in rows
+        ],
+    )
+    print(table)
+    print(f"\nwrote {path}")
+    if len(engines) > 1:
+        print("engines agree on every pipeline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -137,3 +137,54 @@ def run_all_pipelines(
 ) -> List[PipelineResult]:
     names = configs or list(ALL_PIPELINES)
     return [ALL_PIPELINES[name](source, machine) for name in names]
+
+
+# ----------------------------------------------------------------------
+# Module builders (measured execution)
+#
+# The pipelines above price transformed modules with the machine model;
+# these builders return the transformed *module itself*, so the
+# benchmark harness can execute it — interpreted or compiled — and
+# measure wall-clock time instead.
+# ----------------------------------------------------------------------
+
+
+def build_baseline(source: str, tile: int = 32) -> ModuleOp:
+    """The MET output as-is: naive affine loop nests (no raising)."""
+    return compile_c(source)
+
+
+def build_mlt_linalg(source: str, tile: int = 32) -> ModuleOp:
+    """Raise to Linalg, then the default tiled-loop lowering."""
+    module = compile_c(source)
+    raise_affine_to_linalg(module)
+    _default_linalg_lowering(module, tile=tile)
+    return module
+
+
+def build_mlt_blas(
+    source: str, tile: int = 32, library: str = "mkl-dnn"
+) -> ModuleOp:
+    """Raise to Linalg, then substitute BLAS library calls."""
+    module = compile_c(source)
+    raise_affine_to_linalg(module)
+    LinalgToBlasPass(library).run(module, Context())
+    return module
+
+
+MODULE_BUILDERS: Dict[str, Callable[..., ModuleOp]] = {
+    "baseline": build_baseline,
+    "mlt-linalg": build_mlt_linalg,
+    "mlt-blas": build_mlt_blas,
+}
+
+
+def build_module(source: str, pipeline: str, tile: int = 32) -> ModuleOp:
+    """Build the executable module for one named pipeline."""
+    try:
+        builder = MODULE_BUILDERS[pipeline]
+    except KeyError:
+        raise ValueError(
+            f"unknown pipeline {pipeline!r}; known: {sorted(MODULE_BUILDERS)}"
+        )
+    return builder(source, tile=tile)

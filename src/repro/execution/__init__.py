@@ -1,8 +1,17 @@
-"""Execution substrate: a numpy-backed interpreter (for semantics) and
-an analytical machine/cost model (for the paper's performance studies).
+"""Execution substrate: a numpy-backed interpreter (for semantics), a
+compiled NumPy execution engine (for measured performance), and an
+analytical machine/cost model (for the paper's performance studies).
 """
 
 from .interpreter import InterpreterError, Interpreter, run_function  # noqa: F401
+from .engine import (  # noqa: F401
+    CacheStats,
+    EngineError,
+    ExecutionEngine,
+    KERNEL_CACHE,
+    KernelCache,
+    run_function_compiled,
+)
 from .machines import AMD_2920X, INTEL_I9_9900K, Machine  # noqa: F401
 from .cost_model import (  # noqa: F401
     CostModel,

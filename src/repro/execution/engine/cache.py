@@ -1,0 +1,98 @@
+"""Content-addressed kernel cache.
+
+A compiled kernel is keyed by the SHA-256 of the module's printed form
+plus the pipeline name, so any IR mutation — a different kernel, a
+different transform schedule, even a changed constant — produces a new
+key, while re-running the same benchmark or replaying the same fuzz
+seed hits the cache and skips codegen entirely.  Bounded FIFO eviction
+keeps long fuzz campaigns from accumulating unbounded source strings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ...ir import ModuleOp, print_module
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    #: Number of full codegen+compile invocations (== misses unless a
+    #: builder raised); benchmarks assert this stays flat on re-runs.
+    codegen_count: int = 0
+    evictions: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "codegen_count": self.codegen_count,
+            "evictions": self.evictions,
+        }
+
+
+class KernelCache:
+    """Maps (module print hash, pipeline name) -> compiled kernel."""
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries <= 0:
+            raise ValueError("kernel cache needs at least one slot")
+        self.max_entries = max_entries
+        self._store: "OrderedDict[str, object]" = OrderedDict()
+        self.stats = CacheStats()
+
+    @staticmethod
+    def key_for(module: ModuleOp, pipeline: str = "") -> str:
+        text = print_module(module)
+        digest = hashlib.sha256()
+        digest.update(text.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(pipeline.encode("utf-8"))
+        return digest.hexdigest()
+
+    def get(self, key: str) -> Optional[object]:
+        entry = self._store.get(key)
+        if entry is not None:
+            self._store.move_to_end(key)
+        return entry
+
+    def put(self, key: str, compiled: object) -> None:
+        self._store[key] = compiled
+        self._store.move_to_end(key)
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+            self.stats.evictions += 1
+
+    def get_or_compile(
+        self,
+        module: ModuleOp,
+        pipeline: str,
+        builder: Callable[[str], object],
+    ) -> object:
+        key = self.key_for(module, pipeline)
+        cached = self.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached
+        self.stats.misses += 1
+        compiled = builder(key)
+        self.stats.codegen_count += 1
+        self.put(key, compiled)
+        return compiled
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+#: Process-wide default cache shared by all engines (override per
+#: engine with ``ExecutionEngine(..., cache=KernelCache())``).
+KERNEL_CACHE = KernelCache()

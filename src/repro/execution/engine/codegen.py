@@ -1,0 +1,557 @@
+"""Translate a module into compiled NumPy-backed Python source.
+
+Every function in the module becomes one generated ``def``:
+
+* structured bodies (``affine.for``/``scf.for``/``scf.if``) become
+  Python loops, with innermost ``affine.for`` bodies handed to the
+  vectorizer (see :mod:`.vectorize`) so contiguous access patterns run
+  as NumPy slice arithmetic instead of per-element dispatch;
+* ``blas.*`` / ``linalg.*`` / ``affine.matmul`` ops dispatch straight
+  to the NumPy/BLAS helpers in :mod:`.runtime`;
+* lowered multi-block CFG regions (``llvm.br``/``llvm.cond_br``) become
+  a ``while``-driven block dispatcher with tuple-assignments standing
+  in for block arguments.
+
+The per-op logic lives in the :data:`EMITTERS` table, the compiled
+analogue of the interpreter's ``_HANDLERS`` — the coverage audit in
+``tests/execution/test_engine_coverage.py`` keeps the two in lockstep.
+An op without an emitter fails codegen with a one-line
+:class:`EngineError` naming the op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ...dialects.affine import AffineForOp
+from ...ir import FuncOp, ModuleOp, Operation, is_float
+from ...ir.affine_expr import AffineExpr, AffineExprKind
+from ...ir.types import F64Type, IndexType, IntegerType, MemRefType
+from . import runtime
+from .runtime import EngineError
+
+#: Hard bound on block transitions when executing a lowered CFG region;
+#: compiled into the generated dispatcher as an infinite-loop backstop.
+MAX_CFG_STEPS = 10_000_000
+
+
+def _np_dtype_literal(elem_type) -> str:
+    if isinstance(elem_type, F64Type):
+        return "float64"
+    if isinstance(elem_type, (IndexType, IntegerType)):
+        return "int64"
+    return "float32"
+
+
+def affine_expr_src(expr: AffineExpr, dim_names: Sequence[str]) -> str:
+    """Render an affine expression as Python source over ``dim_names``."""
+    if expr.is_constant():
+        return str(expr.evaluate((), ()))
+    kind = expr.kind
+    if kind is AffineExprKind.DIM:
+        return dim_names[expr.position]
+    if kind is AffineExprKind.SYMBOL:
+        raise EngineError("engine: symbolic affine operands are unsupported")
+    lhs = affine_expr_src(expr.lhs, dim_names)
+    rhs = affine_expr_src(expr.rhs, dim_names)
+    if kind is AffineExprKind.ADD:
+        return f"({lhs} + {rhs})"
+    if kind is AffineExprKind.MUL:
+        return f"({lhs} * {rhs})"
+    if kind is AffineExprKind.MOD:
+        return f"({lhs} % {rhs})"
+    if kind is AffineExprKind.FLOORDIV:
+        return f"({lhs} // {rhs})"
+    return f"(-((-{lhs}) // {rhs}))"  # ceildiv
+
+
+class _FuncContext:
+    """Per-function codegen state: lines, indentation, value names."""
+
+    def __init__(self, codegen: "CodeGenerator", func: FuncOp):
+        self.codegen = codegen
+        self.func = func
+        self.lines: List[str] = []
+        self.indent = 1
+        self._names: Dict[int, str] = {}
+        self._counter = 0
+
+    # -- value naming ----------------------------------------------------
+
+    def define(self, value) -> str:
+        name = f"v{self._counter}"
+        self._counter += 1
+        self._names[id(value)] = name
+        return name
+
+    def name(self, value) -> str:
+        try:
+            return self._names[id(value)]
+        except KeyError:
+            raise EngineError(f"engine: unbound SSA value {value!r}")
+
+    def fresh(self, prefix: str = "_t") -> str:
+        name = f"{prefix}{self._counter}"
+        self._counter += 1
+        return name
+
+    # -- emission --------------------------------------------------------
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def emit_block(self, ops: Sequence[Operation]) -> None:
+        """Emit a suite of ops, inserting ``pass`` for empty suites."""
+        before = len(self.lines)
+        for op in ops:
+            self.codegen.emit_op(self, op)
+        if len(self.lines) == before:
+            self.emit("pass")
+
+    # -- affine helpers --------------------------------------------------
+
+    def operand_names(self, values) -> List[str]:
+        return [self.name(v) for v in values]
+
+    def bound_src(self, map_, operands, minimize: bool) -> str:
+        names = self.operand_names(operands)
+        exprs = [affine_expr_src(e, names) for e in map_.results]
+        if len(exprs) == 1:
+            return exprs[0]
+        reducer = "min" if minimize else "max"
+        return f"{reducer}({', '.join(exprs)})"
+
+
+# ----------------------------------------------------------------------
+# Scalar emitters
+# ----------------------------------------------------------------------
+
+
+def _emit_constant(ctx: _FuncContext, op) -> None:
+    ty = op.results[0].type
+    value = float(op.value) if is_float(ty) else int(op.value)
+    ctx.emit(f"{ctx.define(op.results[0])} = {value!r}")
+
+
+def _float_binary(expr: str):
+    def emit(ctx: _FuncContext, op) -> None:
+        a, b = ctx.name(op.operand(0)), ctx.name(op.operand(1))
+        result = ctx.define(op.results[0])
+        body = expr.format(a=a, b=b)
+        if str(op.results[0].type) == "f32":
+            ctx.emit(f"{result} = _f32({body})")
+        else:
+            ctx.emit(f"{result} = {body}")
+
+    return emit
+
+
+def _int_binary(expr: str):
+    def emit(ctx: _FuncContext, op) -> None:
+        a, b = ctx.name(op.operand(0)), ctx.name(op.operand(1))
+        ctx.emit(f"{ctx.define(op.results[0])} = {expr.format(a=a, b=b)}")
+
+    return emit
+
+
+def _emit_cmpi(ctx: _FuncContext, op) -> None:
+    python_op = {
+        "eq": "==", "ne": "!=", "slt": "<", "sle": "<=", "sgt": ">", "sge": ">=",
+    }[op.predicate]
+    a, b = ctx.name(op.operand(0)), ctx.name(op.operand(1))
+    ctx.emit(f"{ctx.define(op.results[0])} = ({a} {python_op} {b})")
+
+
+def _emit_select(ctx: _FuncContext, op) -> None:
+    c, t, f = (ctx.name(op.operand(i)) for i in range(3))
+    ctx.emit(f"{ctx.define(op.results[0])} = ({t} if {c} else {f})")
+
+
+def _emit_index_cast(ctx: _FuncContext, op) -> None:
+    ctx.emit(f"{ctx.define(op.results[0])} = int({ctx.name(op.operand(0))})")
+
+
+def _emit_alloc(ctx: _FuncContext, op) -> None:
+    ty = op.results[0].type
+    if any(d < 0 for d in ty.shape):
+        raise EngineError("engine: cannot allocate dynamic memref")
+    shape = tuple(ty.shape)
+    dtype = _np_dtype_literal(ty.element_type)
+    ctx.emit(f"{ctx.define(op.results[0])} = _np.zeros({shape!r}, dtype={dtype!r})")
+
+
+def _emit_noop(ctx: _FuncContext, op) -> None:
+    pass
+
+
+def _emit_std_load(ctx: _FuncContext, op) -> None:
+    mem = ctx.name(op.memref)
+    idx = ", ".join(ctx.operand_names(op.indices))
+    ctx.emit(f"{ctx.define(op.results[0])} = {mem}[{idx}].item()")
+
+
+def _emit_std_store(ctx: _FuncContext, op) -> None:
+    mem = ctx.name(op.memref)
+    idx = ", ".join(ctx.operand_names(op.indices))
+    ctx.emit(f"{mem}[{idx}] = {ctx.name(op.value)}")
+
+
+def _affine_access_src(ctx: _FuncContext, op) -> str:
+    names = ctx.operand_names(op.indices)
+    return ", ".join(affine_expr_src(e, names) for e in op.map.results)
+
+
+def _emit_affine_load(ctx: _FuncContext, op) -> None:
+    mem = ctx.name(op.memref)
+    ctx.emit(
+        f"{ctx.define(op.results[0])} = {mem}[{_affine_access_src(ctx, op)}].item()"
+    )
+
+
+def _emit_affine_store(ctx: _FuncContext, op) -> None:
+    mem = ctx.name(op.memref)
+    ctx.emit(f"{mem}[{_affine_access_src(ctx, op)}] = {ctx.name(op.value)}")
+
+
+def _emit_affine_apply(ctx: _FuncContext, op) -> None:
+    names = ctx.operand_names(op.operands)
+    expr = affine_expr_src(op.map.results[0], names)
+    ctx.emit(f"{ctx.define(op.results[0])} = {expr}")
+
+
+def _emit_affine_for(ctx: _FuncContext, op: AffineForOp) -> None:
+    from .vectorize import try_vectorize_affine_for
+
+    lb = ctx.bound_src(op.lower_bound_map, op.lb_operands, minimize=False)
+    ub = ctx.bound_src(op.upper_bound_map, op.ub_operands, minimize=True)
+    if try_vectorize_affine_for(ctx, op, lb, ub):
+        return
+    iv = ctx.define(op.induction_var)
+    ctx.emit(f"for {iv} in range({lb}, {ub}, {op.step}):")
+    ctx.indent += 1
+    ctx.emit_block(op.ops_in_body())
+    ctx.indent -= 1
+
+
+def _emit_scf_for(ctx: _FuncContext, op) -> None:
+    lb, ub, step = (ctx.name(v) for v in (op.lower_bound, op.upper_bound, op.step))
+    iv = ctx.define(op.induction_var)
+    ctx.emit(f"for {iv} in range({lb}, {ub}, {step}):")
+    ctx.indent += 1
+    ctx.emit_block(op.ops_in_body())
+    ctx.indent -= 1
+
+
+def _emit_scf_if(ctx: _FuncContext, op) -> None:
+    ctx.emit(f"if {ctx.name(op.condition)}:")
+    ctx.indent += 1
+    ctx.emit_block(op.then_block.ops_without_terminator())
+    ctx.indent -= 1
+    if len(op.regions) > 1:
+        ctx.emit("else:")
+        ctx.indent += 1
+        ctx.emit_block(op.else_block.ops_without_terminator())
+        ctx.indent -= 1
+
+
+def _emit_return(ctx: _FuncContext, op) -> None:
+    values = ", ".join(ctx.operand_names(op.operands))
+    ctx.emit(f"return [{values}]" if values else "return []")
+
+
+def _emit_func_call(ctx: _FuncContext, op) -> None:
+    callee = ctx.codegen.module.lookup(op.callee)
+    if callee is None:
+        raise EngineError(f"engine: call to unknown function @{op.callee}")
+    args = ", ".join(ctx.operand_names(op.operands))
+    if op.results:
+        tmp = ctx.fresh("_r")
+        ctx.emit(f"{tmp} = _fn_{op.callee}({args})")
+        for pos, result in enumerate(op.results):
+            ctx.emit(f"{ctx.define(result)} = {tmp}[{pos}]")
+    else:
+        ctx.emit(f"_fn_{op.callee}({args})")
+
+
+def _emit_llvm_call(ctx: _FuncContext, op) -> None:
+    if op.callee not in runtime.LIBRARY_CALLS:
+        raise EngineError(f"engine: unknown library symbol @{op.callee}")
+    args = ", ".join(ctx.operand_names(op.operands))
+    ctx.emit(f"_rt.library_call({op.callee!r}, [{args}])")
+
+
+def _emit_llvm_load(ctx: _FuncContext, op) -> None:
+    mem, idx = ctx.name(op.memref), ctx.name(op.index)
+    ctx.emit(
+        f"{ctx.define(op.results[0])} = {mem}.reshape(-1)[{idx}].item()"
+    )
+
+
+def _emit_llvm_store(ctx: _FuncContext, op) -> None:
+    mem, idx = ctx.name(op.memref), ctx.name(op.index)
+    ctx.emit(f"{mem}.reshape(-1)[{idx}] = {ctx.name(op.value)}")
+
+
+def _emit_cfg_terminator(ctx: _FuncContext, op) -> None:
+    # Handled by the CFG block dispatcher; direct dispatch means a
+    # branch sits in a single-block region, which is malformed IR.
+    raise EngineError(f"engine: {op.name} outside a multi-block CFG region")
+
+
+def _emit_unreachable(ctx: _FuncContext, op) -> None:
+    ctx.emit(
+        'raise EngineError("executed llvm.unreachable: '
+        'control flow reached a point marked impossible")'
+    )
+
+
+# -- linear algebra ops -------------------------------------------------
+
+
+def _emit_matmul(ctx: _FuncContext, op) -> None:
+    a, b, c = ctx.operand_names(op.operands)
+    ctx.emit(f"_rt.sgemm({a}, {b}, {c})")
+
+
+def _emit_blas_sgemm(ctx: _FuncContext, op) -> None:
+    a, b, c = ctx.operand_names(op.operands)
+    ctx.emit(f"_rt.sgemm({a}, {b}, {c}, {op.alpha!r}, {op.beta!r})")
+
+
+def _emit_matvec(ctx: _FuncContext, op) -> None:
+    a, x, y = ctx.operand_names(op.operands)
+    trans = bool(getattr(op, "trans", False))
+    ctx.emit(f"_rt.sgemv({a}, {x}, {y}, trans={trans})")
+
+
+def _emit_transpose(ctx: _FuncContext, op) -> None:
+    src, dst = ctx.name(op.input), ctx.name(op.output)
+    ctx.emit(f"_rt.transpose({src}, {dst}, {tuple(op.permutation)!r})")
+
+
+def _emit_reshape(ctx: _FuncContext, op) -> None:
+    ctx.emit(f"_rt.reshape({ctx.name(op.input)}, {ctx.name(op.output)})")
+
+
+def _emit_conv2d(ctx: _FuncContext, op) -> None:
+    src, kernel, out = ctx.operand_names(op.operands)
+    ctx.emit(f"_rt.conv2d({src}, {kernel}, {out})")
+
+
+def _emit_fill(ctx: _FuncContext, op) -> None:
+    ctx.emit(f"{ctx.name(op.output)}[...] = {ctx.name(op.fill_value)}")
+
+
+def _emit_copy(ctx: _FuncContext, op) -> None:
+    ctx.emit(f"{ctx.name(op.output)}[...] = {ctx.name(op.input)}")
+
+
+def _emit_generic(ctx: _FuncContext, op) -> None:
+    extents = op.iteration_domain()
+    maps = op.indexing_maps
+    loop_vars = [ctx.fresh("_g") for _ in extents]
+    for var, extent in zip(loop_vars, extents):
+        ctx.emit(f"for {var} in range({extent}):")
+        ctx.indent += 1
+    for arg, operand, map_ in zip(op.body.arguments, op.operands, maps):
+        idx = ", ".join(affine_expr_src(e, loop_vars) for e in map_.results)
+        ctx.emit(f"{ctx.define(arg)} = {ctx.name(operand)}[{idx}].item()")
+    for body_op in op.body.ops_without_terminator():
+        ctx.codegen.emit_op(ctx, body_op)
+    term = op.body.terminator
+    for out_pos, yielded in enumerate(term.operands):
+        out_map = maps[op.num_inputs + out_pos]
+        idx = ", ".join(affine_expr_src(e, loop_vars) for e in out_map.results)
+        out = ctx.name(op.operands[op.num_inputs + out_pos])
+        ctx.emit(f"{out}[{idx}] = {ctx.name(yielded)}")
+    for _ in extents:
+        ctx.indent -= 1
+
+
+#: Op-name -> emitter.  The compiled counterpart of the interpreter's
+#: ``_HANDLERS`` table; the engine coverage audit diffs the two.
+EMITTERS: Dict[str, Callable[[_FuncContext, Operation], None]] = {
+    "func.return": _emit_return,
+    "func.call": _emit_func_call,
+    "llvm.call": _emit_llvm_call,
+    "std.constant": _emit_constant,
+    "std.addf": _float_binary("({a} + {b})"),
+    "std.subf": _float_binary("({a} - {b})"),
+    "std.mulf": _float_binary("({a} * {b})"),
+    "std.divf": _float_binary("({a} / {b})"),
+    "std.maxf": _float_binary("({a} if {a} >= {b} else {b})"),
+    "std.addi": _int_binary("({a} + {b})"),
+    "std.subi": _int_binary("({a} - {b})"),
+    "std.muli": _int_binary("({a} * {b})"),
+    "std.divi": _int_binary("({a} // {b})"),
+    "std.remi": _int_binary("({a} % {b})"),
+    "std.cmpi": _emit_cmpi,
+    "std.select": _emit_select,
+    "std.index_cast": _emit_index_cast,
+    "std.alloc": _emit_alloc,
+    "std.dealloc": _emit_noop,
+    "std.load": _emit_std_load,
+    "std.store": _emit_std_store,
+    "affine.for": _emit_affine_for,
+    "affine.load": _emit_affine_load,
+    "affine.store": _emit_affine_store,
+    "affine.apply": _emit_affine_apply,
+    "affine.yield": _emit_noop,
+    "affine.matmul": _emit_matmul,
+    "scf.for": _emit_scf_for,
+    "scf.if": _emit_scf_if,
+    "scf.yield": _emit_noop,
+    "llvm.load": _emit_llvm_load,
+    "llvm.store": _emit_llvm_store,
+    "llvm.br": _emit_cfg_terminator,
+    "llvm.cond_br": _emit_cfg_terminator,
+    "llvm.unreachable": _emit_unreachable,
+    "linalg.yield": _emit_noop,
+    "linalg.matmul": _emit_matmul,
+    "linalg.matvec": _emit_matvec,
+    "linalg.transpose": _emit_transpose,
+    "linalg.reshape": _emit_reshape,
+    "linalg.conv2d_nchw": _emit_conv2d,
+    "linalg.fill": _emit_fill,
+    "linalg.copy": _emit_copy,
+    "linalg.generic": _emit_generic,
+    "blas.sgemm": _emit_blas_sgemm,
+    "blas.sgemv": _emit_matvec,
+    "blas.transpose": _emit_transpose,
+    "blas.reshape": _emit_reshape,
+    "blas.conv2d": _emit_conv2d,
+}
+
+
+# ----------------------------------------------------------------------
+# Function / module generation
+# ----------------------------------------------------------------------
+
+
+class CodeGenerator:
+    def __init__(self, module: ModuleOp):
+        self.module = module
+
+    def emit_op(self, ctx: _FuncContext, op: Operation) -> None:
+        emitter = EMITTERS.get(op.name)
+        if emitter is None:
+            raise EngineError(f"engine: no emitter for op {op.name}")
+        emitter(ctx, op)
+
+    def generate_function(self, func: FuncOp) -> List[str]:
+        ctx = _FuncContext(self, func)
+        params = [ctx.define(arg) for arg in func.arguments]
+        header = f"def _fn_{func.sym_name}({', '.join(params)}):"
+        region = func.regions[0]
+        if len(region.blocks) == 1:
+            ctx.emit_block(region.entry_block.operations)
+            if not _returns_on_all_paths(ctx.lines):
+                ctx.emit("return []")
+        else:
+            self._generate_cfg(ctx, region)
+        return [header] + ctx.lines
+
+    # -- lowered CFG form ------------------------------------------------
+
+    def _generate_cfg(self, ctx: _FuncContext, region) -> None:
+        blocks = list(region.blocks)
+        block_ids = {id(block): pos for pos, block in enumerate(blocks)}
+        # Pre-assign names for every block argument so branches can
+        # tuple-assign into them (entry args already name the params).
+        for block in blocks[1:]:
+            for arg in block.arguments:
+                ctx.define(arg)
+        ctx.emit("_b = 0")
+        ctx.emit("_steps = 0")
+        ctx.emit("while True:")
+        ctx.indent += 1
+        ctx.emit("_steps += 1")
+        ctx.emit(f"if _steps > {MAX_CFG_STEPS}:")
+        ctx.indent += 1
+        ctx.emit(
+            'raise EngineError("engine: exceeded CFG step budget '
+            f'({MAX_CFG_STEPS} block transitions)")'
+        )
+        ctx.indent -= 1
+        for pos, block in enumerate(blocks):
+            ctx.emit(f"{'if' if pos == 0 else 'elif'} _b == {pos}:")
+            ctx.indent += 1
+            before = len(ctx.lines)
+            for op in block.operations:
+                if op.name == "llvm.br":
+                    self._emit_branch_assign(ctx, op)
+                    ctx.emit(f"_b = {block_ids[id(op.dest)]}")
+                    ctx.emit("continue")
+                elif op.name == "llvm.cond_br":
+                    true_id = block_ids[id(op.true_dest)]
+                    false_id = block_ids[id(op.false_dest)]
+                    ctx.emit(
+                        f"_b = {true_id} if {ctx.name(op.condition)} "
+                        f"else {false_id}"
+                    )
+                    ctx.emit("continue")
+                else:
+                    self.emit_op(ctx, op)
+            if len(ctx.lines) == before:
+                ctx.emit("pass")
+            ctx.indent -= 1
+        ctx.emit("else:")
+        ctx.indent += 1
+        ctx.emit('raise EngineError("engine: jump to unknown CFG block")')
+        ctx.indent -= 2
+
+    def _emit_branch_assign(self, ctx: _FuncContext, op) -> None:
+        if not op.operands:
+            return
+        targets = ", ".join(ctx.name(arg) for arg in op.dest.arguments)
+        sources = ", ".join(ctx.operand_names(op.operands))
+        ctx.emit(f"{targets} = {sources}")
+
+
+def _returns_on_all_paths(lines: List[str]) -> bool:
+    """Cheap check: did the body end in a top-level return?"""
+    for line in reversed(lines):
+        if line.startswith("    return"):
+            return True
+        if not line.startswith("        "):
+            return False
+    return False
+
+
+def generate_module_source(module: ModuleOp) -> str:
+    """Generate the full Python source for a module's functions."""
+    generator = CodeGenerator(module)
+    chunks = ["# generated by repro.execution.engine — do not edit"]
+    for func in module.functions:
+        chunks.append("\n".join(generator.generate_function(func)))
+    return "\n\n\n".join(chunks) + "\n"
+
+
+@dataclass
+class CompiledModule:
+    """A compiled kernel: generated source plus callable entry points."""
+
+    key: str
+    source: str
+    functions: Dict[str, Callable]
+
+
+def compile_module(module: ModuleOp, key: str = "") -> CompiledModule:
+    """Codegen + ``compile()`` one module into callable kernels."""
+    source = generate_module_source(module)
+    namespace = {
+        "_np": np,
+        "_rt": runtime,
+        "_f32": runtime.f32,
+        "EngineError": EngineError,
+    }
+    code = compile(source, f"<engine:{key[:12] or 'module'}>", "exec")
+    exec(code, namespace)
+    functions = {
+        func.sym_name: namespace[f"_fn_{func.sym_name}"]
+        for func in module.functions
+    }
+    return CompiledModule(key=key, source=source, functions=functions)

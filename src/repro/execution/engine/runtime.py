@@ -1,0 +1,70 @@
+"""Runtime support library referenced by generated kernel code.
+
+Generated source never imports anything itself; the engine executes it
+with ``_rt`` bound to this module (plus ``_np``/``_f32``/``EngineError``
+locals), so these helpers are the entire surface area available to
+compiled kernels.  Numerical semantics deliberately mirror the
+interpreter's handlers: ``blas.*``/``linalg.*`` ops must produce the
+same values whether a module is interpreted or compiled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir import IRError
+
+
+class EngineError(IRError):
+    """Raised on codegen gaps (no emitter) and runtime faults."""
+
+
+def f32(value: float) -> float:
+    """Single-precision rounding of a scalar intermediate (matches the
+    interpreter's handling of ``f32``-typed arithmetic)."""
+    return float(np.float32(value))
+
+
+def sgemm(a, b, c, alpha: float = 1.0, beta: float = 1.0) -> None:
+    c *= np.asarray(beta, dtype=c.dtype)
+    c += np.asarray(alpha, dtype=c.dtype) * (a @ b).astype(c.dtype)
+
+
+def sgemv(a, x, y, trans: bool = False) -> None:
+    if trans:
+        a = a.T
+    y += (a @ x).astype(y.dtype)
+
+
+def transpose(src, dst, permutation) -> None:
+    dst[...] = np.transpose(src, permutation)
+
+
+def reshape(src, dst) -> None:
+    dst[...] = np.ascontiguousarray(src).reshape(dst.shape)
+
+
+def conv2d(src, kernel, out) -> None:
+    _, _, kh, kw = kernel.shape
+    _, _, oh, ow = out.shape
+    for dy in range(kh):
+        for dx in range(kw):
+            patch = src[:, :, dy:dy + oh, dx:dx + ow]
+            out += np.einsum(
+                "nchw,fc->nfhw", patch, kernel[:, :, dy, dx]
+            ).astype(out.dtype)
+
+
+#: Library symbols the lowered ``llvm.call`` form may invoke, mirroring
+#: ``Interpreter.LIBRARY_CALLS``.
+LIBRARY_CALLS = {
+    "cblas_sgemm": lambda args: sgemm(args[0], args[1], args[2]),
+    "cblas_sgemv": lambda args: sgemv(args[0], args[1], args[2]),
+}
+
+
+def library_call(symbol: str, args) -> None:
+    handler = LIBRARY_CALLS.get(symbol)
+    if handler is None:
+        raise EngineError(f"engine: unknown library symbol @{symbol}")
+    handler(args)

@@ -1,0 +1,324 @@
+"""Innermost-loop vectorization for the compiled engine.
+
+An innermost ``affine.for`` whose body is a straight line of affine
+loads/stores and float arithmetic is rewritten from a per-iteration
+Python loop into NumPy slice arithmetic: every access where the
+induction variable appears linearly in exactly one subscript becomes a
+strided slice, the arithmetic chain evaluates element-wise over whole
+vectors, and the single store either writes a slice (element-wise case)
+or folds a ``_np.sum`` into its accumulator (reduction case).
+
+The transform bails out — returning ``False`` so codegen falls back to
+the scalar loop — whenever it cannot prove safety:
+
+* any body op outside the safe set (nested loops, integer/index
+  arithmetic, calls, ...);
+* more than one store, or a store whose value is not a recognisable
+  accumulator update when the induction variable is absent from its
+  subscripts;
+* the induction variable appearing non-linearly, with a non-positive
+  stride, or in more than one subscript of an access;
+* a load from the stored buffer whose subscripts are not structurally
+  identical to the store's (a loop-carried dependence).
+
+Buffers are assumed non-aliasing unless they are the same SSA value —
+the same assumption the rest of the evaluation stack makes, and one the
+fuzzing ``engine-diff`` stage continuously cross-checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...dialects.affine import AffineForOp, AffineLoadOp, AffineStoreOp
+from ...ir import Operation, is_float
+from .codegen import affine_expr_src
+from .runtime import EngineError
+
+#: Ops a vectorizable body may contain.  Everything else forces the
+#: scalar fallback.
+SAFE_OPS = {
+    "affine.load",
+    "affine.store",
+    "std.constant",
+    "std.addf",
+    "std.subf",
+    "std.mulf",
+    "std.divf",
+    "std.maxf",
+}
+
+_VEC_BINOPS = {
+    "std.addf": "({a} + {b})",
+    "std.subf": "({a} - {b})",
+    "std.mulf": "({a} * {b})",
+    "std.divf": "({a} / {b})",
+    "std.maxf": "_np.maximum({a}, {b})",
+}
+
+_SCALAR_BINOPS = {
+    "std.addf": "({a} + {b})",
+    "std.subf": "({a} - {b})",
+    "std.mulf": "({a} * {b})",
+    "std.divf": "({a} / {b})",
+    "std.maxf": "({a} if {a} >= {b} else {b})",
+}
+
+
+def _access_signature(op) -> tuple:
+    """Structural identity of an affine access: same map results over
+    the same index SSA values on the same buffer."""
+    return (
+        tuple(expr._key() for expr in op.map.results),
+        tuple(id(v) for v in op.indices),
+        id(op.memref),
+    )
+
+
+class _Access:
+    """Analysis of one affine load/store against the loop's iv."""
+
+    def __init__(self, op, iv):
+        self.op = op
+        self.signature = _access_signature(op)
+        #: per-subscript iv coefficient (0 when the iv is absent)
+        self.coeffs: List[int] = []
+        #: subscript position carrying the iv, or None
+        self.vec_dim: Optional[int] = None
+        iv_positions = {
+            pos for pos, value in enumerate(op.indices) if value is iv
+        }
+        for result_pos, expr in enumerate(op.map.results):
+            used = expr.dims_used() & iv_positions
+            if not used:
+                self.coeffs.append(0)
+                continue
+            linear = expr.as_linear()
+            if linear is None:
+                raise _Bail(f"non-linear use of the iv in {op.name}")
+            coeff = sum(linear.dim_coeffs.get(pos, 0) for pos in used)
+            if coeff <= 0:
+                raise _Bail("iv stride must be positive")
+            if self.vec_dim is not None:
+                raise _Bail("iv appears in two subscripts of one access")
+            self.vec_dim = result_pos
+            self.coeffs.append(coeff)
+        if self.vec_dim is None:
+            self.coeffs = [0] * len(op.map.results)
+
+    @property
+    def is_vector(self) -> bool:
+        return self.vec_dim is not None
+
+
+class _Bail(Exception):
+    """Internal: pattern not vectorizable, fall back to the scalar loop."""
+
+
+def try_vectorize_affine_for(ctx, op: AffineForOp, lb: str, ub: str) -> bool:
+    """Emit ``op`` as NumPy slice arithmetic; False means fall back."""
+    try:
+        _Vectorizer(ctx, op).emit(lb, ub)
+        return True
+    except _Bail:
+        return False
+
+
+class _Vectorizer:
+    def __init__(self, ctx, op: AffineForOp):
+        self.ctx = ctx
+        self.op = op
+        self.iv = op.induction_var
+        self.body = op.ops_in_body()
+        self.accesses: Dict[int, _Access] = {}
+        #: generated expression + vec-ness per SSA value produced in the
+        #: body: id(value) -> (source, is_vector)
+        self.values: Dict[int, Tuple[str, bool]] = {}
+        self.store: Optional[AffineStoreOp] = None
+        self.fused_ops: set = set()
+        self.analyze()
+
+    # -- analysis --------------------------------------------------------
+
+    def analyze(self) -> None:
+        stores = []
+        self.vec_ids: set = set()
+        for body_op in self.body:
+            if body_op.name not in SAFE_OPS:
+                raise _Bail(f"unsafe op {body_op.name}")
+            if isinstance(body_op, (AffineLoadOp, AffineStoreOp)):
+                self.accesses[id(body_op)] = _Access(body_op, self.iv)
+            if isinstance(body_op, AffineStoreOp):
+                stores.append(body_op)
+            elif body_op.results:
+                result = body_op.results[0]
+                if isinstance(body_op, AffineLoadOp):
+                    if self.accesses[id(body_op)].is_vector:
+                        self.vec_ids.add(id(result))
+                elif any(
+                    id(value) in self.vec_ids for value in body_op.operands
+                ):
+                    self.vec_ids.add(id(result))
+        if len(stores) != 1:
+            raise _Bail("need exactly one store")
+        self.store = stores[0]
+        store_access = self.accesses[id(self.store)]
+        if store_access.is_vector:
+            self._check_elementwise_hazards(store_access)
+        else:
+            self._match_reduction(store_access)
+
+    def _loads_of_stored_buffer(self, store_access: _Access) -> List[_Access]:
+        return [
+            access
+            for access in self.accesses.values()
+            if isinstance(access.op, AffineLoadOp)
+            and id(access.op.memref) == store_access.signature[2]
+        ]
+
+    def _check_elementwise_hazards(self, store_access: _Access) -> None:
+        for access in self._loads_of_stored_buffer(store_access):
+            if access.signature != store_access.signature:
+                raise _Bail("loop-carried dependence on the stored buffer")
+
+    def _match_reduction(self, store_access: _Access) -> None:
+        """iv absent from the store: only ``acc = acc +/- vector`` folds."""
+        update = self.store.value.defining_op
+        if update is None or update.name not in ("std.addf", "std.subf"):
+            raise _Bail("store target is loop-invariant but not a reduction")
+        if not update.results[0].has_one_use():
+            raise _Bail("reduction update has other users")
+        lhs, rhs = update.operand(0), update.operand(1)
+        acc, contrib = None, None
+        for candidate, other in ((lhs, rhs), (rhs, lhs)):
+            load = candidate.defining_op
+            if (
+                isinstance(load, AffineLoadOp)
+                and id(load) in self.accesses
+                and self.accesses[id(load)].signature == store_access.signature
+            ):
+                acc, contrib = load, other
+                break
+        if acc is None:
+            raise _Bail("no accumulator load matching the store")
+        if update.name == "std.subf" and update.operand(0) is not acc.results[0]:
+            raise _Bail("subtraction reduction must subtract from the acc")
+        if not acc.results[0].has_one_use():
+            raise _Bail("accumulator load has other users")
+        loads = self._loads_of_stored_buffer(store_access)
+        if any(load.op is not acc for load in loads):
+            raise _Bail("extra load of the reduction buffer")
+        if id(contrib) not in self.vec_ids:
+            raise _Bail("reduction contribution is loop-invariant")
+        self.reduction = (update, acc, contrib)
+        self.fused_ops = {id(update), id(acc)}
+
+    # -- emission --------------------------------------------------------
+
+    def emit(self, lb: str, ub: str) -> None:
+        ctx = self.ctx
+        n = ctx.fresh("_n")
+        lb_name = ctx.fresh("_lb")
+        ctx.emit(f"{lb_name} = {lb}")
+        ctx.emit(f"{n} = len(range({lb_name}, {ub}, {self.op.step}))")
+        self.n = n
+        self.lb_name = lb_name
+        ctx.emit(f"if {n} > 0:")
+        ctx.indent += 1
+        for body_op in self.body:
+            if id(body_op) in self.fused_ops:
+                continue
+            self._emit_body_op(body_op)
+        ctx.indent -= 1
+
+    def _emit_body_op(self, body_op: Operation) -> None:
+        ctx = self.ctx
+        name = body_op.name
+        if name == "std.constant":
+            value = body_op.value
+            literal = (
+                repr(float(value))
+                if is_float(body_op.results[0].type)
+                else repr(int(value))
+            )
+            self.values[id(body_op.results[0])] = (literal, False)
+        elif name == "affine.load":
+            self._emit_load(body_op)
+        elif name == "affine.store":
+            self._emit_store(body_op)
+        else:  # float binary
+            a_src, a_vec = self._value(body_op.operand(0))
+            b_src, b_vec = self._value(body_op.operand(1))
+            vec = a_vec or b_vec
+            table = _VEC_BINOPS if vec else _SCALAR_BINOPS
+            src = table[name].format(a=a_src, b=b_src)
+            if not vec and str(body_op.results[0].type) == "f32":
+                src = f"_f32({src})"
+            temp = ctx.fresh()
+            ctx.emit(f"{temp} = {src}")
+            self.values[id(body_op.results[0])] = (temp, vec)
+
+    def _value(self, value) -> Tuple[str, bool]:
+        entry = self.values.get(id(value))
+        if entry is not None:
+            return entry
+        # Defined outside the loop body (outer iv, function arg, ...).
+        return self.ctx.name(value), False
+
+    def _subscript(self, access: _Access) -> str:
+        """Render an access's subscript tuple, slicing the iv dimension."""
+        ctx = self.ctx
+        op = access.op
+        # Index operand names with the iv position(s) replaced by the
+        # hoisted lower bound, so the remaining expression computes the
+        # slice *start*.
+        names = [
+            self.lb_name if value is self.iv else ctx.name(value)
+            for value in op.indices
+        ]
+        parts = []
+        for pos, expr in enumerate(op.map.results):
+            src = affine_expr_src(expr, names)
+            if pos == access.vec_dim:
+                stride = access.coeffs[pos] * self.op.step
+                start = ctx.fresh("_s")
+                ctx.emit(f"{start} = {src}")
+                parts.append(
+                    f"slice({start}, {start} + {stride} * {self.n}, {stride})"
+                )
+            else:
+                parts.append(src)
+        return ", ".join(parts)
+
+    def _emit_load(self, load: AffineLoadOp) -> None:
+        ctx = self.ctx
+        access = self.accesses[id(load)]
+        temp = ctx.fresh()
+        mem = ctx.name(load.memref)
+        if access.is_vector:
+            ctx.emit(f"{temp} = {mem}[{self._subscript(access)}]")
+        else:
+            ctx.emit(f"{temp} = {mem}[{self._subscript(access)}].item()")
+        self.values[id(load.results[0])] = (temp, access.is_vector)
+
+    def _emit_store(self, store: AffineStoreOp) -> None:
+        ctx = self.ctx
+        access = self.accesses[id(store)]
+        mem = ctx.name(store.memref)
+        if access.is_vector:
+            value_src, _ = self._value(store.value)
+            ctx.emit(f"{mem}[{self._subscript(access)}] = {value_src}")
+            return
+        update, _acc, contrib = self.reduction
+        contrib_src, contrib_vec = self._value(contrib)
+        if not contrib_vec:
+            raise EngineError(
+                "engine: internal error — scalar reduction contribution "
+                "should have bailed out during analysis"
+            )
+        sign = "+" if update.name == "std.addf" else "-"
+        subscript = self._subscript(access)
+        ctx.emit(
+            f"{mem}[{subscript}] = "
+            f"{mem}[{subscript}] {sign} _np.sum({contrib_src})"
+        )

@@ -167,9 +167,17 @@ class Interpreter:
         self._tick()
         if self.count_ops:
             self.op_counts[op.name] = self.op_counts.get(op.name, 0) + 1
-        handler = _HANDLERS.get(op.name)
+        # Handler lookup memoized on the op instance: a loop body op is
+        # dispatched once per iteration, so the dict probe on the hot
+        # path collapses to an attribute read.  Keyed per instance (not
+        # per class) because unregistered op names share the base
+        # Operation class.
+        handler = op._interp_handler
         if handler is None:
-            raise InterpreterError(f"interpreter: unhandled op {op.name}")
+            handler = _HANDLERS.get(op.name)
+            if handler is None:
+                raise InterpreterError(f"interpreter: unhandled op {op.name}")
+            op._interp_handler = handler
         return handler(self, op, env)
 
     def scalar_flops(self) -> int:

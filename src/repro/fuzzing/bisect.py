@@ -17,7 +17,14 @@ from typing import Optional
 
 from ..ir import Context, ModuleOp
 from ..met import compile_c
-from .oracle import Pipeline, StageResult, check_module, make_args, module_arg_shapes
+from .oracle import (
+    Pipeline,
+    StageResult,
+    check_engine_module,
+    check_module,
+    make_args,
+    module_arg_shapes,
+)
 
 
 @dataclass
@@ -30,7 +37,8 @@ class BisectionResult:
     stage: Optional[str] = None
     #: 0-based position of the culprit in the flattened pass list.
     index: Optional[int] = None
-    #: Failure kind (crash | verify | roundtrip | execute | diff).
+    #: Failure kind (crash | verify | roundtrip | execute | diff |
+    #: engine | engine-diff).
     kind: str = ""
     detail: str = ""
 
@@ -55,6 +63,7 @@ def bisect_pipeline(
     seed: int = 0,
     rtol: float = 2e-3,
     max_steps: int = 20_000_000,
+    check_engine: bool = True,
 ) -> BisectionResult:
     """Replay ``pipeline`` pass-by-pass over a C source (str) or a
     pristine module (ModuleOp) and locate the first breaking pass."""
@@ -103,7 +112,7 @@ def bisect_pipeline(
                 kind="crash",
                 detail=str(exc),
             )
-        result, _ = check_module(
+        result, outputs = check_module(
             module,
             func_name,
             base_args,
@@ -120,6 +129,24 @@ def bisect_pipeline(
                 kind=result.kind,
                 detail=result.detail,
             )
+        if check_engine:
+            engine_result = check_engine_module(
+                module,
+                func_name,
+                base_args,
+                outputs,
+                stage_name,
+                pipeline_name=pipeline.name,
+                rtol=rtol,
+            )
+            if not engine_result.ok:
+                return BisectionResult(
+                    culprit_pass=pass_name,
+                    stage=stage_name,
+                    index=position,
+                    kind=engine_result.kind,
+                    detail=engine_result.detail,
+                )
     return BisectionResult(culprit_pass=None)
 
 

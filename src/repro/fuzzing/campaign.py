@@ -112,11 +112,13 @@ class FuzzCampaign:
         check_modules: bool = True,
         write_artifacts: bool = True,
         extra_pipelines: Optional[Dict[str, Pipeline]] = None,
+        check_engine: bool = True,
     ):
         self.out_dir = out_dir
         self.rtol = rtol
         self.max_steps = max_steps
         self.check_modules = check_modules
+        self.check_engine = check_engine
         self.write_artifacts = write_artifacts
         registry = build_pipelines(fuzz_tile_size)
         if extra_pipelines:
@@ -171,6 +173,7 @@ class FuzzCampaign:
                 seed=seed,
                 rtol=self.rtol,
                 max_steps=self.max_steps,
+                check_engine=self.check_engine,
             )
             stats.checks += 1
             stats.stages_checked += len(report.stages)
@@ -188,6 +191,7 @@ class FuzzCampaign:
                     seed=seed,
                     rtol=self.rtol,
                     max_steps=self.max_steps,
+                    check_engine=self.check_engine,
                 )
                 stats.checks += 1
                 stats.stages_checked += len(report.stages)
@@ -271,6 +275,7 @@ class FuzzCampaign:
             seed=seed,
             rtol=self.rtol,
             max_steps=self.max_steps,
+            check_engine=self.check_engine,
         )
 
         def still_fails(candidate: str) -> bool:
@@ -281,6 +286,7 @@ class FuzzCampaign:
                 seed=seed,
                 rtol=self.rtol,
                 max_steps=self.max_steps,
+                check_engine=self.check_engine,
             )
             failure = candidate_report.first_failure
             original = report.first_failure
@@ -313,6 +319,7 @@ class FuzzCampaign:
             seed=seed,
             rtol=self.rtol,
             max_steps=self.max_steps,
+            check_engine=self.check_engine,
         )
         failure = FuzzFailure(
             seed=seed,

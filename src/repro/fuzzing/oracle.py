@@ -8,7 +8,11 @@ stage*, and after every stage checks the module snapshot three ways:
    fixpoint (printer/parser stay in sync at every abstraction level);
 3. **execution** — the interpreter must produce numerically identical
    output buffers to the stage-0 (MET output) reference, up to a small
-   float tolerance for reassociated contractions.
+   float tolerance for reassociated contractions;
+4. **engine-diff** — the compiled :class:`ExecutionEngine` must agree
+   with the interpreter on the same snapshot (reported as a separate
+   ``engine-diff:<stage>`` result; disable with ``check_engine=False``
+   or ``mlt-fuzz --no-engine-diff``).
 
 A stage that raises, fails verification, breaks the round-trip, or
 diverges numerically produces a :class:`StageResult` failure; the
@@ -154,7 +158,8 @@ DEFAULT_PIPELINES: Tuple[str, ...] = ("mlt-linalg", "mlt-blas", "mlt-affine")
 class StageResult:
     stage: str
     ok: bool
-    kind: str = "ok"  # ok | crash | verify | roundtrip | execute | diff
+    # ok | crash | verify | roundtrip | execute | diff | engine | engine-diff
+    kind: str = "ok"
     detail: str = ""
     ir_text: str = ""
 
@@ -291,6 +296,42 @@ def check_module(
     return StageResult(stage_name, True, "ok", "", text), outputs
 
 
+def check_engine_module(
+    module: ModuleOp,
+    func_name: str,
+    base_args: Sequence[np.ndarray],
+    interpreter_outputs: Sequence[np.ndarray],
+    stage_name: str,
+    pipeline_name: str = "",
+    rtol: float = 2e-3,
+    ir_text: str = "",
+) -> StageResult:
+    """Cross-check the compiled engine against the interpreter.
+
+    Runs the snapshot through :class:`ExecutionEngine` on a fresh copy
+    of ``base_args`` and diffs its output buffers against the
+    *interpreter's* outputs for the same snapshot — the backends must
+    agree at every pipeline stage, not just at the end.
+    """
+    from ..execution import ExecutionEngine
+
+    result_name = f"engine-diff:{stage_name}"
+    try:
+        args = [a.copy() for a in base_args]
+        engine = ExecutionEngine(
+            module, pipeline=f"{pipeline_name}:{stage_name}"
+        )
+        engine.run(func_name, *args)
+    except Exception as exc:
+        return StageResult(result_name, False, "engine", str(exc), ir_text)
+    detail = _diff_detail(interpreter_outputs, args, rtol)
+    if detail:
+        return StageResult(
+            result_name, False, "engine-diff", detail, ir_text
+        )
+    return StageResult(result_name, True, "ok", "", ir_text)
+
+
 # ----------------------------------------------------------------------
 # Oracle drivers
 # ----------------------------------------------------------------------
@@ -303,6 +344,7 @@ def run_oracle(
     seed: int = 0,
     rtol: float = 2e-3,
     max_steps: int = 20_000_000,
+    check_engine: bool = True,
 ) -> OracleReport:
     """Differentially test one C kernel against one pipeline."""
     report = OracleReport(pipeline.name, func_name)
@@ -316,7 +358,8 @@ def run_oracle(
         )
         return report
     return _drive_stages(
-        report, module, pipeline, func_name, seed, rtol, max_steps
+        report, module, pipeline, func_name, seed, rtol, max_steps,
+        check_engine=check_engine,
     )
 
 
@@ -327,11 +370,13 @@ def run_oracle_on_module(
     seed: int = 0,
     rtol: float = 2e-3,
     max_steps: int = 20_000_000,
+    check_engine: bool = True,
 ) -> OracleReport:
     """Differentially test a builder-constructed module (skips MET)."""
     report = OracleReport(pipeline.name, func_name)
     return _drive_stages(
-        report, module.clone(), pipeline, func_name, seed, rtol, max_steps
+        report, module.clone(), pipeline, func_name, seed, rtol, max_steps,
+        check_engine=check_engine,
     )
 
 
@@ -343,6 +388,7 @@ def _drive_stages(
     seed: int,
     rtol: float,
     max_steps: int,
+    check_engine: bool = True,
 ) -> OracleReport:
     shapes = module_arg_shapes(module, func_name)
     base_args = make_args(shapes, seed)
@@ -368,6 +414,20 @@ def _drive_stages(
         report.stages.append(result)
         if not result.ok:
             return report
+        if check_engine:
+            engine_result = check_engine_module(
+                module,
+                func_name,
+                base_args,
+                outputs,
+                stage.name,
+                pipeline_name=pipeline.name,
+                rtol=rtol,
+                ir_text=result.ir_text,
+            )
+            report.stages.append(engine_result)
+            if not engine_result.ok:
+                return report
         if reference is None:
             reference = outputs
     return report

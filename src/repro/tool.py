@@ -143,6 +143,24 @@ def main(argv: List[str] = None) -> int:
         help="print a machine-model performance estimate",
     )
     parser.add_argument(
+        "--execute",
+        metavar="FUNC",
+        help="run FUNC on random inputs after the pipeline and print "
+        "output checksums",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=["interpret", "compiled"],
+        default="interpret",
+        help="execution backend for --execute (default: interpret)",
+    )
+    parser.add_argument(
+        "--exec-seed",
+        type=int,
+        default=0,
+        help="RNG seed for --execute input buffers",
+    )
+    parser.add_argument(
         "-o", "--output", default="-", help="output file (default stdout)"
     )
     args = parser.parse_args(rest)
@@ -177,7 +195,38 @@ def main(argv: List[str] = None) -> int:
                 f"@{func.sym_name}: {report.seconds * 1e3:.3f} ms, "
                 f"{report.gflops:.2f} GFLOP/s on {machine.name}\n"
             )
+    if args.execute:
+        try:
+            _execute_module(module, args.execute, args.engine, args.exec_seed)
+        except Exception as exc:
+            sys.stderr.write(f"mlt-opt: --execute: {exc}\n")
+            return 1
     return 0
+
+
+def _execute_module(
+    module: ModuleOp, func_name: str, engine: str, seed: int
+) -> None:
+    """Run one function on deterministic random inputs and report a
+    checksum per output buffer (the two --engine backends must print
+    identical lines up to float tolerance)."""
+    from .fuzzing.oracle import make_args, module_arg_shapes
+
+    shapes = module_arg_shapes(module, func_name)
+    args = make_args(shapes, seed)
+    if engine == "compiled":
+        from .execution import ExecutionEngine
+
+        ExecutionEngine(module, pipeline="mlt-opt").run(func_name, *args)
+    else:
+        from .execution import Interpreter
+
+        Interpreter(module).run(func_name, *args)
+    for pos, buf in enumerate(args):
+        sys.stderr.write(
+            f"@{func_name} arg {pos}: shape={tuple(buf.shape)} "
+            f"checksum={float(buf.sum()):.6f} [{engine}]\n"
+        )
 
 
 def fuzz_main(argv: List[str] = None) -> int:
@@ -243,6 +292,11 @@ def fuzz_main(argv: List[str] = None) -> int:
         action="store_true",
         help="report failures without writing fuzz-failures/",
     )
+    parser.add_argument(
+        "--no-engine-diff",
+        action="store_true",
+        help="skip the compiled-engine cross-check at every stage",
+    )
     args = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
 
     pipelines = args.pipelines.split(",") if args.pipelines else None
@@ -253,6 +307,7 @@ def fuzz_main(argv: List[str] = None) -> int:
             rtol=args.rtol,
             check_modules=not args.no_modules,
             write_artifacts=not args.no_artifacts,
+            check_engine=not args.no_engine_diff,
         )
     except ValueError as exc:
         parser.error(str(exc))

@@ -1,0 +1,182 @@
+"""Functional tests for the compiled NumPy execution engine.
+
+The contract under test: for any module the Figure-9 pipelines can
+produce, ``ExecutionEngine.run`` mutates the argument buffers exactly
+like ``Interpreter.run`` (up to float reassociation tolerance), while
+the kernel cache makes repeated compilation free.
+"""
+
+import numpy as np
+import pytest
+
+from repro.execution import (
+    EngineError,
+    ExecutionEngine,
+    Interpreter,
+    KernelCache,
+    run_function_compiled,
+)
+from repro.execution.engine import compile_module, generate_module_source
+from repro.fuzzing.oracle import build_pipelines, make_args, module_arg_shapes
+from repro.ir import Context
+from repro.met import compile_c
+
+GEMM = """
+void gemm(float A[8][6], float B[6][7], float C[8][7]) {
+  for (int i = 0; i < 8; i++)
+    for (int j = 0; j < 7; j++)
+      for (int k = 0; k < 6; k++)
+        C[i][j] += A[i][k] * B[k][j];
+}
+"""
+
+STENCIL = """
+void stencil(float A[10], float B[10]) {
+  for (int i = 1; i < 9; i++)
+    B[i] = A[i - 1] + A[i] + A[i + 1];
+}
+"""
+
+SAXPY = """
+void saxpy(float x[16], float y[16]) {
+  for (int i = 0; i < 16; i++)
+    y[i] = y[i] + 2.0f * x[i];
+}
+"""
+
+
+def _run_both(module, func_name, seed=0, pipeline=""):
+    shapes = module_arg_shapes(module, func_name)
+    args_interp = make_args(shapes, seed)
+    args_engine = [a.copy() for a in args_interp]
+    Interpreter(module).run(func_name, *args_interp)
+    engine = ExecutionEngine(module, pipeline=pipeline, cache=KernelCache())
+    engine.run(func_name, *args_engine)
+    for ref, act in zip(args_interp, args_engine):
+        np.testing.assert_allclose(ref, act, rtol=2e-3, atol=1e-5)
+    return engine
+
+
+class TestBasicAgreement:
+    def test_gemm_matches_interpreter(self):
+        engine = _run_both(compile_c(GEMM), "gemm")
+        # The k-loop is a recognizable reduction — it must vectorize.
+        assert "_np.sum" in engine.source
+
+    def test_stencil_matches_interpreter(self):
+        engine = _run_both(compile_c(STENCIL), "stencil")
+        # Elementwise with offset accesses — slice vectorization.
+        assert "slice(" in engine.source
+
+    def test_saxpy_read_write_same_buffer(self):
+        engine = _run_both(compile_c(SAXPY), "saxpy")
+        assert "slice(" in engine.source
+
+    @pytest.mark.parametrize("pipeline", ["mlt-linalg", "mlt-blas", "mlt-affine"])
+    def test_gemm_agrees_across_fig9_pipelines(self, pipeline):
+        module = compile_c(GEMM, distribute=False)
+        for _, _, factory in build_pipelines()[pipeline].flat_passes():
+            factory().run(module, Context())
+        _run_both(module, "gemm", pipeline=pipeline)
+
+    def test_run_function_compiled_one_shot(self):
+        module = compile_c(SAXPY)
+        shapes = module_arg_shapes(module, "saxpy")
+        args = make_args(shapes, 3)
+        expected = [a.copy() for a in args]
+        Interpreter(module).run("saxpy", *expected)
+        run_function_compiled(module, "saxpy", *args)
+        np.testing.assert_allclose(args[1], expected[1], rtol=2e-3, atol=1e-5)
+
+
+class TestVectorizationFallbacks:
+    def test_loop_carried_dependence_falls_back_to_scalar_loop(self):
+        src = """
+        void scan(float A[12]) {
+          for (int i = 1; i < 12; i++)
+            A[i] = A[i - 1] + A[i];
+        }
+        """
+        engine = _run_both(compile_c(src), "scan")
+        # Prefix sums are order-dependent: slice vectorization would be
+        # wrong, so the inner loop must stay scalar.
+        assert "slice(" not in engine.source
+
+    def test_zero_trip_loop_is_a_noop(self):
+        module = compile_c(GEMM)
+        engine = ExecutionEngine(module, cache=KernelCache())
+        # Guard clause present for vectorized loops.
+        assert "> 0:" in engine.source
+
+
+class TestKernelCache:
+    def test_identical_module_hits_cache(self):
+        cache = KernelCache()
+        first = compile_c(GEMM)
+        second = compile_c(GEMM)
+        ExecutionEngine(first, pipeline="p", cache=cache)
+        assert cache.stats.codegen_count == 1
+        ExecutionEngine(second, pipeline="p", cache=cache)
+        assert cache.stats.codegen_count == 1
+        assert cache.stats.hits == 1
+
+    def test_pipeline_name_is_part_of_the_key(self):
+        cache = KernelCache()
+        module = compile_c(GEMM)
+        ExecutionEngine(module, pipeline="a", cache=cache)
+        ExecutionEngine(module, pipeline="b", cache=cache)
+        assert cache.stats.codegen_count == 2
+
+    def test_ir_mutation_invalidates(self):
+        cache = KernelCache()
+        module = compile_c(GEMM)
+        ExecutionEngine(module, pipeline="p", cache=cache)
+        mutated = compile_c(GEMM.replace("C[i][j] +=", "C[i][j] -="))
+        ExecutionEngine(mutated, pipeline="p", cache=cache)
+        assert cache.stats.codegen_count == 2
+
+    def test_bounded_eviction(self):
+        cache = KernelCache(max_entries=1)
+        ExecutionEngine(compile_c(GEMM), pipeline="a", cache=cache)
+        ExecutionEngine(compile_c(STENCIL), pipeline="a", cache=cache)
+        assert len(cache) == 1
+        assert cache.stats.evictions == 1
+
+    def test_clear_resets_stats(self):
+        cache = KernelCache()
+        ExecutionEngine(compile_c(GEMM), cache=cache)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.codegen_count == 0
+
+
+class TestErrors:
+    def test_unknown_function(self):
+        engine = ExecutionEngine(compile_c(GEMM), cache=KernelCache())
+        with pytest.raises(EngineError, match="no function @nope"):
+            engine.run("nope")
+
+    def test_wrong_arg_count(self):
+        engine = ExecutionEngine(compile_c(GEMM), cache=KernelCache())
+        with pytest.raises(EngineError, match="expects 3 args"):
+            engine.run("gemm", np.zeros((8, 6), np.float32))
+
+    def test_non_ndarray_memref_arg(self):
+        engine = ExecutionEngine(compile_c(GEMM), cache=KernelCache())
+        with pytest.raises(EngineError, match="expected ndarray"):
+            engine.run("gemm", [[1.0]], [[1.0]], [[1.0]])
+
+
+class TestGeneratedSource:
+    def test_source_is_deterministic(self):
+        module = compile_c(GEMM)
+        assert generate_module_source(module) == generate_module_source(module)
+
+    def test_compile_module_exposes_all_functions(self):
+        two = GEMM + STENCIL
+        compiled = compile_module(compile_c(two))
+        assert set(compiled.functions) == {"gemm", "stencil"}
+
+    def test_engine_source_property(self):
+        engine = ExecutionEngine(compile_c(STENCIL), cache=KernelCache())
+        assert "def _fn_stencil(" in engine.source

@@ -257,3 +257,59 @@ class TestLinalgExecution:
         )
         with pytest.raises(InterpreterError):
             run_function(module, "f", np.zeros(4, np.float32))
+
+
+class TestDispatchCache:
+    """``execute_op`` memoizes the handler lookup on the op instance."""
+
+    def test_handler_resolved_once_per_op(self, monkeypatch):
+        from repro.execution import interpreter as interp_mod
+
+        src = """
+        void scale(float A[8]) {
+          for (int i = 0; i < 8; i++)
+            A[i] = A[i] * 2.0f;
+        }
+        """
+        module = compile_c(src)
+
+        lookups = []
+        real_get = interp_mod._HANDLERS.get
+
+        def counting_get(name, default=None):
+            lookups.append(name)
+            return real_get(name, default)
+
+        monkeypatch.setattr(
+            interp_mod, "_HANDLERS", _CountingHandlers(counting_get)
+        )
+        interp = Interpreter(module)
+        for _ in range(3):
+            interp.run("scale", np.ones(8, np.float32))
+        # 8 iterations x 3 runs, yet each body op resolved exactly once.
+        assert len(lookups) == len(set(id(op) for f in module.functions
+                                       for op in f.walk()
+                                       if op._interp_handler is not None))
+
+    def test_cached_handler_matches_registry(self):
+        from repro.execution.interpreter import _HANDLERS
+
+        src = """
+        void gemm(float A[4][4], float B[4][4], float C[4][4]) {
+          for (int i = 0; i < 4; i++)
+            for (int j = 0; j < 4; j++)
+              for (int k = 0; k < 4; k++)
+                C[i][j] += A[i][k] * B[k][j];
+        }
+        """
+        module = compile_c(src)
+        run_function(module, "gemm", *random_arrays(0, (4, 4), (4, 4), (4, 4)))
+        for func in module.functions:
+            for op in func.walk():
+                if op._interp_handler is not None:
+                    assert op._interp_handler is _HANDLERS[op.name]
+
+
+class _CountingHandlers:
+    def __init__(self, get):
+        self.get = get

@@ -1,0 +1,99 @@
+"""The engine-diff oracle stage: compiled engine vs interpreter at every
+pipeline snapshot."""
+
+import numpy as np
+import pytest
+
+from repro.fuzzing import build_pipelines, run_oracle
+from repro.fuzzing.oracle import (
+    check_engine_module,
+    make_args,
+    module_arg_shapes,
+)
+from repro.met import compile_c
+
+GEMM = """
+void gemm(float A[4][4], float B[4][4], float C[4][4]) {
+  for (int i = 0; i < 4; i++)
+    for (int j = 0; j < 4; j++)
+      for (int k = 0; k < 4; k++)
+        C[i][j] += A[i][k] * B[k][j];
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def pipelines():
+    return build_pipelines()
+
+
+class TestEngineDiffStages:
+    def test_engine_stages_present_and_ok(self, pipelines):
+        report = run_oracle(GEMM, pipelines["mlt-blas"], "gemm", seed=0)
+        assert report.ok, report.summary()
+        engine_stages = [
+            s for s in report.stages if s.stage.startswith("engine-diff:")
+        ]
+        interp_stages = [
+            s for s in report.stages if not s.stage.startswith("engine-diff:")
+        ]
+        # One engine cross-check per successfully interpreted snapshot.
+        assert len(engine_stages) == len(interp_stages)
+        assert all(s.kind == "ok" for s in engine_stages)
+        assert all(s.ir_text for s in engine_stages)
+
+    def test_check_engine_false_omits_stages(self, pipelines):
+        report = run_oracle(
+            GEMM, pipelines["mlt-blas"], "gemm", seed=0, check_engine=False
+        )
+        assert report.ok, report.summary()
+        assert not any(
+            s.stage.startswith("engine-diff:") for s in report.stages
+        )
+
+
+class TestCheckEngineModule:
+    def _snapshot(self):
+        module = compile_c(GEMM)
+        args = make_args(module_arg_shapes(module, "gemm"), 0)
+        from repro.execution import Interpreter
+
+        outputs = [a.copy() for a in args]
+        Interpreter(module).run("gemm", *outputs)
+        return module, args, outputs
+
+    def test_agreeing_snapshot_is_ok(self):
+        module, args, outputs = self._snapshot()
+        result = check_engine_module(
+            module, "gemm", args, outputs, "met", pipeline_name="unit"
+        )
+        assert result.ok
+        assert result.stage == "engine-diff:met"
+
+    def test_divergence_reports_engine_diff(self):
+        module, args, outputs = self._snapshot()
+        outputs = [o.copy() for o in outputs]
+        outputs[2] += 1.0  # fake an interpreter result the engine won't match
+        result = check_engine_module(
+            module, "gemm", args, outputs, "met", pipeline_name="unit"
+        )
+        assert not result.ok
+        assert result.kind == "engine-diff"
+        assert "arg 2" in result.detail
+
+    def test_engine_crash_reports_engine_kind(self, monkeypatch):
+        module, args, outputs = self._snapshot()
+
+        import repro.execution as execution
+
+        class Boom:
+            def __init__(self, *a, **k):
+                raise RuntimeError("codegen exploded")
+
+        monkeypatch.setattr(execution, "ExecutionEngine", Boom)
+        result = check_engine_module(
+            module, "gemm", args, outputs, "met", pipeline_name="unit"
+        )
+        assert not result.ok
+        assert result.kind == "engine"
+        assert "codegen exploded" in result.detail

@@ -123,3 +123,32 @@ class TestMain:
             capsys,
         )
         assert "linalg.matmul" in out
+
+    def test_execute_engines_agree(self, c_file, capsys):
+        outputs = {}
+        for engine in ("interpret", "compiled"):
+            code, _, err = self._run(
+                [
+                    c_file,
+                    "-raise-affine-to-linalg",
+                    "--execute",
+                    "gemm",
+                    "--engine",
+                    engine,
+                    "-o",
+                    "/dev/null",
+                ],
+                capsys,
+            )
+            assert code == 0
+            lines = [l for l in err.splitlines() if "checksum=" in l]
+            assert len(lines) == 3
+            outputs[engine] = [l.split(" [")[0] for l in lines]
+        assert outputs["interpret"] == outputs["compiled"]
+
+    def test_execute_unknown_function_fails(self, c_file, capsys):
+        code, _, err = self._run(
+            [c_file, "--execute", "nope", "-o", "/dev/null"], capsys
+        )
+        assert code == 1
+        assert "nope" in err
