@@ -6,23 +6,34 @@ being reproduced is that the raising step adds only a modest fraction
 of the total compilation time (pattern matching has negligible cost
 compared to constraint-solver approaches like IDL, which the related
 work reports at +82%).
+
+This module also compares the two greedy pattern drivers on the same
+workload (worklist vs the reference snapshot driver): byte-identical
+IR, strictly fewer match trials in aggregate, and the wall-clock
+speedup — written to ``benchmarks/results/BENCH_sec5b.json``.
 """
 
 import time
 
 from repro.evaluation import PAPER_BENCHMARKS, get_kernel
+from repro.ir import DRIVERS, Context, pattern_driver, print_module
 from repro.met import compile_c
 from repro.tactics import raise_affine_to_linalg
-from repro.tactics.raising import default_linalg_tactics
+from repro.tactics.raising import (
+    RaiseAffineToLinalgPass,
+    default_linalg_tactics,
+)
 from repro.transforms import lower_to_llvm
 
-from .harness import format_table, report
+from .harness import format_table, report, report_json
 
 KERNELS = sorted(PAPER_BENCHMARKS)
 
 
-def _sources():
-    return {name: get_kernel(name).small() for name in KERNELS}
+def _sources(kernels=None):
+    return {
+        name: get_kernel(name).small() for name in (kernels or KERNELS)
+    }
 
 
 def measure():
@@ -56,6 +67,150 @@ def _timed(fn) -> float:
     return time.perf_counter() - start
 
 
+# ----------------------------------------------------------------------
+# Worklist vs snapshot driver comparison
+# ----------------------------------------------------------------------
+
+
+def _timing_totals(timing):
+    """(trials, rewrites) summed over every pattern of every pass."""
+    trials = rewrites = 0
+    for patterns in timing.pattern_stats.values():
+        for entry in patterns.values():
+            trials += entry["trials"]
+            rewrites += entry["rewrites"]
+    return trials, rewrites
+
+
+def _run_one_kernel(source, driver):
+    """Compile + raise + lower one kernel under ``driver``.
+
+    Returns per-kernel stats plus the raised and fully-lowered IR
+    texts for the byte-identity check.
+    """
+    with pattern_driver(driver):
+        module = compile_c(source)
+        raise_pass = RaiseAffineToLinalgPass()
+        raise_pass.run(module, Context())
+        raised_text = print_module(module)
+        timing = lower_to_llvm(module)
+    lowered_text = print_module(module)
+    raise_trials = sum(r.trials for r in raise_pass.rewrite_results)
+    raise_rewrites = sum(
+        r.num_rewrites for r in raise_pass.rewrite_results
+    )
+    raise_iterations = sum(
+        r.iterations for r in raise_pass.rewrite_results
+    )
+    lower_trials, lower_rewrites = _timing_totals(timing)
+    return {
+        "raise_trials": raise_trials,
+        "lower_trials": lower_trials,
+        "trials": raise_trials + lower_trials,
+        "rewrites": raise_rewrites + lower_rewrites,
+        "raise_iterations": raise_iterations,
+        "raised_text": raised_text,
+        "lowered_text": lowered_text,
+    }
+
+
+def measure_drivers(kernels=None, rounds=5):
+    """Measure both greedy pattern drivers on the §V-B workload.
+
+    Returns ``(rows, summary)``: one BENCH row per kernel per driver
+    and a summary with per-driver wall-clock plus the worklist speedup.
+    Raises AssertionError if the drivers' printed IR ever differs or
+    the worklist driver needs more match trials than the snapshot
+    driver on any kernel.
+    """
+    default_linalg_tactics()
+    kernels = list(kernels or KERNELS)
+    sources = _sources(kernels)
+
+    stats = {}  # driver -> kernel -> per-kernel stats
+    for driver in DRIVERS:
+        stats[driver] = {
+            name: _run_one_kernel(sources[name], driver)
+            for name in kernels
+        }
+
+    # Bit-for-bit fidelity: identical IR after raising and after the
+    # full lowering pipeline, for every kernel and driver pair.
+    reference_driver, *other_drivers = DRIVERS
+    for name in kernels:
+        for driver in other_drivers:
+            for key in ("raised_text", "lowered_text"):
+                assert (
+                    stats[driver][name][key]
+                    == stats[reference_driver][name][key]
+                ), f"{name}: {driver} and {reference_driver} IR differ ({key})"
+
+    # The worklist driver must never try more matches than a full
+    # sweep does; both share the FrozenPatternSet root-name pruning.
+    for name in kernels:
+        assert (
+            stats["worklist"][name]["trials"]
+            <= stats["snapshot"][name]["trials"]
+        ), f"{name}: worklist tried more matches than snapshot"
+
+    def run_all(driver):
+        with pattern_driver(driver):
+            for name in kernels:
+                module = compile_c(sources[name])
+                raise_affine_to_linalg(module)
+                lower_to_llvm(module)
+
+    # Interleave the drivers round-by-round so machine-load drift hits
+    # both equally; keep the per-driver minimum.
+    walls = {driver: float("inf") for driver in DRIVERS}
+    for _ in range(rounds):
+        for driver in DRIVERS:
+            walls[driver] = min(
+                walls[driver], _timed(lambda d=driver: run_all(d))
+            )
+
+    rows = [
+        {
+            "benchmark": "sec5b_driver",
+            "kernel": name,
+            "driver": driver,
+            "trials": stats[driver][name]["trials"],
+            "raise_trials": stats[driver][name]["raise_trials"],
+            "lower_trials": stats[driver][name]["lower_trials"],
+            "rewrites": stats[driver][name]["rewrites"],
+            "raise_iterations": stats[driver][name]["raise_iterations"],
+        }
+        for driver in DRIVERS
+        for name in kernels
+    ]
+    totals = {
+        driver: sum(stats[driver][name]["trials"] for name in kernels)
+        for driver in DRIVERS
+    }
+    summary = {
+        "kernels": kernels,
+        "wall_time_s": walls,
+        "speedup_worklist_vs_snapshot": (
+            walls["snapshot"] / walls["worklist"]
+        ),
+        "total_trials": totals,
+        "trials_saved": totals["snapshot"] - totals["worklist"],
+        "ir_identical": True,
+    }
+    return rows, summary
+
+
+def write_driver_report(rows, summary, base=None, raised=None):
+    payload = {"rows": rows, "summary": summary}
+    if base is not None:
+        payload["raising_overhead"] = {
+            "lower_only_s": base,
+            "raise_and_lower_s": raised,
+            "overhead_pct": (raised - base) / base * 100,
+        }
+    return report_json("BENCH_sec5b", payload)
+
+
 def test_sec5b_compile_time(benchmark):
     base, raised = benchmark.pedantic(measure, rounds=1, iterations=1)
     overhead = (raised - base) / base * 100
@@ -76,3 +231,44 @@ def test_sec5b_compile_time(benchmark):
     # matchers cost relatively more against this repo's fast lowering,
     # but raising must stay within the same order of magnitude.
     assert overhead < 300.0
+
+
+def test_sec5b_driver_comparison(benchmark):
+    rows, summary = benchmark.pedantic(
+        measure_drivers, rounds=1, iterations=1
+    )
+    # Strictly fewer trials in aggregate: sweeps re-try unraised loops
+    # on every iteration, the worklist never revisits them.
+    assert summary["trials_saved"] > 0
+    base, raised = measure()
+    path = write_driver_report(rows, summary, base=base, raised=raised)
+    report(
+        "sec5b_driver_comparison",
+        format_table(
+            "Section V-B — greedy driver comparison over the 16 "
+            "benchmarks (compile + raise + lower)",
+            ["driver", "wall s", "match trials", "rewrites"],
+            [
+                (
+                    driver,
+                    f"{summary['wall_time_s'][driver]:.4f}",
+                    summary["total_trials"][driver],
+                    sum(
+                        r["rewrites"]
+                        for r in rows
+                        if r["driver"] == driver
+                    ),
+                )
+                for driver in DRIVERS
+            ]
+            + [
+                (
+                    "speedup",
+                    f"{summary['speedup_worklist_vs_snapshot']:.3f}x",
+                    summary["trials_saved"],
+                    "",
+                )
+            ],
+        ),
+    )
+    assert path.endswith("BENCH_sec5b.json")

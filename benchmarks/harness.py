@@ -183,6 +183,38 @@ def measure_pipelines(
 # ----------------------------------------------------------------------
 
 
+def _compile_time_smoke(kernel: str) -> int:
+    """Bench-smoke for the pattern drivers: one kernel, both greedy
+    drivers, byte-identical IR required, report to BENCH_sec5b.json."""
+    # Imported lazily: the bench module imports this harness.
+    from .bench_sec5b_compile_time import (
+        measure_drivers,
+        write_driver_report,
+    )
+
+    rows, summary = measure_drivers(kernels=[kernel])
+    path = write_driver_report(rows, summary)
+    table = format_table(
+        f"compile-time smoke — {kernel} (small), both pattern drivers",
+        ["driver", "wall_time_s", "match trials"],
+        [
+            (
+                driver,
+                f"{summary['wall_time_s'][driver]:.6f}",
+                summary["total_trials"][driver],
+            )
+            for driver in sorted(summary["total_trials"])
+        ],
+    )
+    print(table)
+    print(f"\nwrote {path}")
+    print(
+        "drivers produce byte-identical IR; worklist speedup "
+        f"{summary['speedup_worklist_vs_snapshot']:.3f}x"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="benchmarks.harness",
@@ -199,6 +231,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="execution backend(s); 'both' also cross-checks agreement",
     )
     parser.add_argument(
+        "--compile-time",
+        action="store_true",
+        help="instead of execution, compare the worklist and snapshot "
+        "pattern drivers on --kernel (IR must be byte-identical) and "
+        "write results/BENCH_sec5b.json",
+    )
+    parser.add_argument(
         "--kernel",
         default="gemm",
         help="paper benchmark name (default: gemm)",
@@ -212,6 +251,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="results/<out>.json report name (default: BENCH_fig9)",
     )
     args = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
+
+    if args.compile_time:
+        return _compile_time_smoke(args.kernel)
 
     from repro.evaluation import get_kernel
 

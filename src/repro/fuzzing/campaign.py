@@ -34,6 +34,7 @@ from .oracle import (
     OracleReport,
     Pipeline,
     build_pipelines,
+    check_driver_equivalence,
     run_oracle,
     run_oracle_on_module,
 )
@@ -55,9 +56,13 @@ class FuzzFailure:
     @property
     def reduced(self) -> bool:
         """A failure counts as reduced when it carries a minimal
-        reproducer (C kernels) or needs none (module inputs replay
-        from the seed alone)."""
-        return self.kind == "affine-module" or self.reduced_source is not None
+        reproducer (C kernels) or needs none (module inputs and
+        driver-diff failures replay from the seed alone)."""
+        return (
+            self.kind == "affine-module"
+            or self.pipeline.startswith("driver-diff")
+            or self.reduced_source is not None
+        )
 
     def summary(self) -> str:
         lines = [
@@ -113,12 +118,14 @@ class FuzzCampaign:
         write_artifacts: bool = True,
         extra_pipelines: Optional[Dict[str, Pipeline]] = None,
         check_engine: bool = True,
+        check_drivers: bool = True,
     ):
         self.out_dir = out_dir
         self.rtol = rtol
         self.max_steps = max_steps
         self.check_modules = check_modules
         self.check_engine = check_engine
+        self.check_drivers = check_drivers
         self.write_artifacts = write_artifacts
         registry = build_pipelines(fuzz_tile_size)
         if extra_pipelines:
@@ -181,6 +188,25 @@ class FuzzCampaign:
                 failures.append(
                     self._handle_c_failure(seed, kernel, pipeline, report)
                 )
+        if self.check_drivers:
+            try:
+                from ..met import compile_c
+
+                module = compile_c(kernel.source, distribute=False)
+            except Exception:
+                module = None  # frontend crash is reported by run_oracle
+            if module is not None:
+                failures.extend(
+                    self._run_driver_checks(
+                        seed,
+                        "c-kernel",
+                        kernel.family,
+                        kernel.source,
+                        kernel.func_name,
+                        module,
+                        stats,
+                    )
+                )
         if self.check_modules:
             generated = generate_affine_module(seed)
             for name, pipeline in self.pipelines.items():
@@ -201,6 +227,59 @@ class FuzzCampaign:
                             seed, generated, pipeline, report
                         )
                     )
+            if self.check_drivers:
+                from ..ir import print_module
+
+                failures.extend(
+                    self._run_driver_checks(
+                        seed,
+                        "affine-module",
+                        "affine-module",
+                        print_module(generated.module),
+                        generated.func_name,
+                        generated.module,
+                        stats,
+                    )
+                )
+        return failures
+
+    def _run_driver_checks(
+        self,
+        seed: int,
+        kind: str,
+        family: str,
+        source: str,
+        func_name: str,
+        module,
+        stats: CampaignStats,
+    ) -> List[FuzzFailure]:
+        """Worklist-vs-snapshot IR diff for every configured pipeline.
+
+        A mismatch is a rewrite-driver bug, not a pipeline bug, so it
+        gets neither bisection nor reduction — the seed plus the diff
+        in the report is the reproducer.
+        """
+        failures: List[FuzzFailure] = []
+        for name, pipeline in self.pipelines.items():
+            result = check_driver_equivalence(module, pipeline)
+            stats.checks += 1
+            stats.stages_checked += 1
+            if result.ok:
+                continue
+            report = OracleReport(f"driver-diff:{name}", func_name)
+            report.stages.append(result)
+            failure = FuzzFailure(
+                seed=seed,
+                pipeline=f"driver-diff-{name}",
+                kind=kind,
+                family=family,
+                report=report,
+                bisection=None,
+                source=source,
+            )
+            if self.write_artifacts:
+                failure.artifact_dir = self._dump(failure)
+            failures.append(failure)
         return failures
 
     # ------------------------------------------------------------------

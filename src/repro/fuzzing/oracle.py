@@ -12,7 +12,11 @@ stage*, and after every stage checks the module snapshot three ways:
 4. **engine-diff** — the compiled :class:`ExecutionEngine` must agree
    with the interpreter on the same snapshot (reported as a separate
    ``engine-diff:<stage>`` result; disable with ``check_engine=False``
-   or ``mlt-fuzz --no-engine-diff``).
+   or ``mlt-fuzz --no-engine-diff``);
+5. **driver-diff** — the worklist and snapshot greedy pattern drivers
+   must produce byte-identical printed IR for the whole pipeline
+   (:func:`check_driver_equivalence`; disable with
+   ``check_drivers=False`` or ``mlt-fuzz --no-driver-diff``).
 
 A stage that raises, fails verification, breaks the round-trip, or
 diverges numerically produces a :class:`StageResult` failure; the
@@ -158,7 +162,8 @@ DEFAULT_PIPELINES: Tuple[str, ...] = ("mlt-linalg", "mlt-blas", "mlt-affine")
 class StageResult:
     stage: str
     ok: bool
-    # ok | crash | verify | roundtrip | execute | diff | engine | engine-diff
+    # ok | crash | verify | roundtrip | execute | diff | engine |
+    # engine-diff | driver-diff
     kind: str = "ok"
     detail: str = ""
     ir_text: str = ""
@@ -330,6 +335,55 @@ def check_engine_module(
             result_name, False, "engine-diff", detail, ir_text
         )
     return StageResult(result_name, True, "ok", "", ir_text)
+
+
+def check_driver_equivalence(
+    module: ModuleOp, pipeline: Pipeline
+) -> StageResult:
+    """Cross-check the two greedy pattern drivers on one pipeline.
+
+    Runs every pass of ``pipeline`` over independent clones of
+    ``module``, once under the worklist driver and once under the
+    reference snapshot driver, and requires the final printed IR to be
+    byte-identical.  A pipeline crash is folded into the comparison
+    (both drivers must crash with the same error text), so the check
+    also catches a driver that diverges by raising.
+    """
+    import difflib
+
+    from ..ir import DRIVERS, pattern_driver
+
+    result_name = f"driver-diff:{pipeline.name}"
+    texts: Dict[str, str] = {}
+    for driver in DRIVERS:
+        clone = module.clone()
+        try:
+            with pattern_driver(driver):
+                for _, _, factory in pipeline.flat_passes():
+                    factory().run(clone, Context())
+            texts[driver] = print_module(clone)
+        except Exception as exc:
+            texts[driver] = f"<{driver} crashed: {type(exc).__name__}: {exc}>"
+    reference_driver, *other_drivers = DRIVERS
+    reference_text = texts[reference_driver]
+    for driver in other_drivers:
+        if texts[driver] == reference_text:
+            continue
+        diff = list(
+            difflib.unified_diff(
+                reference_text.splitlines(),
+                texts[driver].splitlines(),
+                fromfile=reference_driver,
+                tofile=driver,
+                lineterm="",
+                n=2,
+            )
+        )
+        detail = "drivers disagree: " + " | ".join(diff[:12])
+        return StageResult(
+            result_name, False, "driver-diff", detail, reference_text
+        )
+    return StageResult(result_name, True, "ok", "", reference_text)
 
 
 # ----------------------------------------------------------------------

@@ -48,10 +48,17 @@ from .pass_manager import (  # noqa: F401
 )
 from .printer import print_module  # noqa: F401
 from .rewrite import (  # noqa: F401
+    DRIVERS,
+    FrozenPatternSet,
     PatternRewriter,
     RewritePattern,
     RewriteResult,
     apply_patterns_greedily,
+    apply_patterns_snapshot,
+    apply_patterns_worklist,
+    get_default_driver,
+    pattern_driver,
+    set_default_driver,
 )
 from .types import (  # noqa: F401
     DYNAMIC,

@@ -1,9 +1,22 @@
-"""Pass infrastructure with per-pass timing.
+"""Pass infrastructure with per-pass (and per-pattern) timing.
 
 Timing matters here: §V-B of the paper reports the compile-time overhead
 of raising (+12% over the plain lowering pipeline), which
 ``benchmarks/bench_sec5b_compile_time.py`` re-measures through this
 module's instrumentation.
+
+Two compile-time optimizations live here:
+
+* **Nested timing** — passes that run the pattern driver expose their
+  :class:`~repro.ir.rewrite.RewriteResult` objects via a
+  ``rewrite_results`` attribute; :class:`PassTiming` folds them into a
+  pass→pattern tree (trials/rewrites/misses/time per pattern) printed
+  by ``mlt-opt --timing``, in the spirit of MLIR's ``-mlir-timing``.
+* **Incremental verification** — with ``verify_each``, a
+  :class:`FunctionPass` reports which functions it actually changed
+  (``run_on_function``'s return value) and only those are re-verified;
+  module passes (or a ``None`` report) still trigger a full module
+  verify.
 """
 
 from __future__ import annotations
@@ -22,21 +35,49 @@ class Pass:
     #: Short pipeline name, e.g. "raise-affine-to-linalg".
     name = "unnamed-pass"
 
+    #: Pattern-driver statistics from the most recent :meth:`run`.
+    #: Passes built on ``apply_patterns_greedily`` append their
+    #: ``RewriteResult`` objects here so PassTiming can report a nested
+    #: pass→pattern tree.
+    rewrite_results: Sequence = ()
+
     def run(self, module: ModuleOp, context: Context) -> None:
         raise NotImplementedError
+
+    def touched_functions(self, module: ModuleOp):
+        """Functions the last :meth:`run` may have modified.
+
+        ``None`` (the default) means "unknown — assume the whole module
+        is dirty"; the PassManager then falls back to a full verify.
+        :class:`FunctionPass` tracks this per function.
+        """
+        return None
 
     def __repr__(self) -> str:
         return f"<Pass {self.name}>"
 
 
 class FunctionPass(Pass):
-    """Convenience base running once per function in the module."""
+    """Convenience base running once per function in the module.
+
+    ``run_on_function`` may return a change indicator (bool or count).
+    A falsy return marks the function clean — ``verify_each`` skips
+    re-verifying it.  Returning ``None`` (legacy) conservatively marks
+    the function dirty.
+    """
 
     def run(self, module: ModuleOp, context: Context) -> None:
+        self.rewrite_results = []
+        self._touched = []
         for func in module.functions:
-            self.run_on_function(func, context)
+            changed = self.run_on_function(func, context)
+            if changed is None or changed:
+                self._touched.append(func)
 
-    def run_on_function(self, func, context: Context) -> None:
+    def touched_functions(self, module: ModuleOp):
+        return list(getattr(self, "_touched", []))
+
+    def run_on_function(self, func, context: Context):
         raise NotImplementedError
 
 
@@ -52,15 +93,33 @@ class LambdaPass(Pass):
 
 
 class PassTiming:
+    """Per-pass wall-clock, plus a nested per-pattern breakdown."""
+
     def __init__(self):
         self.seconds: Dict[str, float] = {}
         self.order: List[str] = []
+        #: pass name -> pattern name -> {seconds, trials, rewrites}.
+        self.pattern_stats: Dict[str, Dict[str, Dict[str, float]]] = {}
 
     def record(self, name: str, elapsed: float) -> None:
         if name not in self.seconds:
             self.order.append(name)
             self.seconds[name] = 0.0
         self.seconds[name] += elapsed
+
+    def record_patterns(self, pass_name: str, rewrite_results) -> None:
+        """Fold a pass's ``RewriteResult`` list into the nested stats."""
+        if not rewrite_results:
+            return
+        stats = self.pattern_stats.setdefault(pass_name, {})
+        for result in rewrite_results:
+            for pattern, trials in result.pattern_attempts.items():
+                entry = stats.setdefault(
+                    pattern, {"seconds": 0.0, "trials": 0, "rewrites": 0}
+                )
+                entry["trials"] += trials
+                entry["seconds"] += result.pattern_seconds.get(pattern, 0.0)
+                entry["rewrites"] += result.pattern_hits.get(pattern, 0)
 
     @property
     def total(self) -> float:
@@ -70,6 +129,17 @@ class PassTiming:
         lines = ["===- Pass execution timing -==="]
         for name in self.order:
             lines.append(f"  {self.seconds[name] * 1e3:9.3f} ms  {name}")
+            patterns = self.pattern_stats.get(name, {})
+            for pattern, entry in sorted(
+                patterns.items(),
+                key=lambda item: (-item[1]["seconds"], item[0]),
+            ):
+                misses = entry["trials"] - entry["rewrites"]
+                lines.append(
+                    f"  {entry['seconds'] * 1e3:9.3f} ms    "
+                    f"`- {pattern} (trials={entry['trials']}, "
+                    f"rewrites={entry['rewrites']}, misses={misses})"
+                )
         lines.append(f"  {self.total * 1e3:9.3f} ms  TOTAL")
         return "\n".join(lines)
 
@@ -86,20 +156,52 @@ class PassManager:
         self.passes: List[Pass] = []
         self.verify_each = verify_each
         self.timing = PassTiming()
+        #: Bumped whenever a pass reports (or may have made) changes.
+        self.module_version = 0
+        #: Incremental-verification counters: full module verifies,
+        #: individual function verifies, and function verifies *saved*
+        #: by the dirty tracking.
+        self.verify_stats = {
+            "full_verifies": 0,
+            "function_verifies": 0,
+            "skipped_functions": 0,
+        }
 
     def add(self, *passes: Pass) -> "PassManager":
         self.passes.extend(passes)
         return self
 
+    def _verify_after(self, pass_, module: ModuleOp) -> None:
+        touched = pass_.touched_functions(module)
+        if touched is None:
+            verify(module, self.context)
+            self.verify_stats["full_verifies"] += 1
+            self.module_version += 1
+            return
+        for func in touched:
+            verify(func, self.context)
+        self.verify_stats["function_verifies"] += len(touched)
+        self.verify_stats["skipped_functions"] += max(
+            0, len(module.functions) - len(touched)
+        )
+        if touched:
+            self.module_version += 1
+
     def run(self, module: ModuleOp) -> PassTiming:
         if self.verify_each:
             verify(module, self.context)
+            self.verify_stats["full_verifies"] += 1
         for pass_ in self.passes:
             start = time.perf_counter()
             pass_.run(module, self.context)
             self.timing.record(pass_.name, time.perf_counter() - start)
+            self.timing.record_patterns(
+                pass_.name, getattr(pass_, "rewrite_results", ())
+            )
             if self.verify_each:
-                verify(module, self.context)
+                self._verify_after(pass_, module)
+            else:
+                self.module_version += 1
         return self.timing
 
     def pipeline_string(self) -> str:

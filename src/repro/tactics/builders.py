@@ -45,12 +45,22 @@ def apply_builders(
     match: MatchResult,
     target: str = "linalg",
     library: str = "mkl-dnn",
+    rewriter=None,
 ) -> List[Operation]:
-    """Run the builder list; returns the newly created operations."""
+    """Run the builder list; returns the newly created operations.
+
+    When a :class:`~repro.ir.PatternRewriter` is supplied, all
+    insertions and the band erasure go through it, so the worklist
+    driver sees the structural notifications.
+    """
     if target not in ("linalg", "blas", "affine"):
         raise BuilderError(f"unknown raising target {target!r}")
     env: Dict[str, Value] = dict(match.memref_of)
-    builder = Builder(InsertionPoint.before(match.root))
+    if rewriter is not None:
+        rewriter.set_insertion_point_before(match.root)
+        builder = rewriter
+    else:
+        builder = Builder(InsertionPoint.before(match.root))
     created: List[Operation] = []
 
     def extent(var: str) -> int:
@@ -97,7 +107,10 @@ def apply_builders(
         builder.insert(op)
         created.append(op)
 
-    _erase_band(match)
+    if rewriter is not None:
+        rewriter.erase_nest(match.root)
+    else:
+        _erase_band(match)
     return created
 
 

@@ -29,10 +29,13 @@ from ..dialects.affine import (
 )
 from ..ir import (
     AffineMap,
+    FrozenPatternSet,
+    FunctionPass,
     Operation,
     PatternRewriter,
     RewritePattern,
     Value,
+    apply_patterns_greedily,
 )
 from ..ir import affine_expr as ae
 from .raising import RaisingStats
@@ -156,11 +159,7 @@ class GenericContractionPattern(RewritePattern):
         block.append(linalg_d.LinalgYieldOp.create([new_add.result]))
         rewriter.insert(generic)
 
-        root = band[0]
-        root.drop_all_references()
-        for inner in list(root.walk_inner()):
-            inner.drop_all_references()
-        root.parent_block.remove(root)
+        rewriter.erase_nest(band[0])
         if self.stats is not None:
             self.stats.record("GENERIC")
         return True
@@ -175,7 +174,7 @@ def raise_to_generic(module) -> RaisingStats:
     return stats
 
 
-class GenericRaisingPass:
+class GenericRaisingPass(FunctionPass):
     """-raise-affine-to-generic: catch-all contraction raising."""
 
     name = "raise-affine-to-generic"
@@ -184,4 +183,11 @@ class GenericRaisingPass:
         self.stats = RaisingStats()
 
     def run(self, module, context) -> None:
-        self.stats = raise_to_generic(module)
+        self.stats = RaisingStats()
+        self._frozen = FrozenPatternSet([GenericContractionPattern(self.stats)])
+        super().run(module, context)
+
+    def run_on_function(self, func, context):
+        result = apply_patterns_greedily(func, self._frozen)
+        self.rewrite_results.append(result)
+        return result.changed

@@ -16,9 +16,10 @@ from ..dialects import std
 from ..dialects.affine import AffineForOp, AffineStoreOp, perfect_nest
 from ..ir import (
     Context,
+    FrozenPatternSet,
+    FunctionPass,
     ModuleOp,
     Operation,
-    Pass,
     PatternRewriter,
     RewritePattern,
     apply_patterns_greedily,
@@ -131,7 +132,13 @@ class TacticRewritePattern(RewritePattern):
             return False
         from .builders import apply_builders
 
-        apply_builders(self.tactic.record, result, self.target, self.library)
+        apply_builders(
+            self.tactic.record,
+            result,
+            self.target,
+            self.library,
+            rewriter=rewriter,
+        )
         if self.stats is not None:
             self.stats.record(self.tactic.name)
         return True
@@ -203,11 +210,7 @@ class FillRaisingPattern(RewritePattern):
             std.ConstantOp.create(const_op.value, memref.type.element_type)
         )
         rewriter.insert(linalg_d.FillOp.create(new_const.result, memref))
-        root = band[0]
-        root.drop_all_references()
-        for inner in list(root.walk_inner()):
-            inner.drop_all_references()
-        root.parent_block.remove(root)
+        rewriter.erase_nest(band[0])
         if self.stats is not None:
             self.stats.record("FILL")
         return True
@@ -218,7 +221,7 @@ class FillRaisingPattern(RewritePattern):
 # ----------------------------------------------------------------------
 
 
-class RaiseAffineToAffinePass(Pass):
+class RaiseAffineToAffinePass(FunctionPass):
     """-raise-affine-to-affine: GEMM loop nests -> affine.matmul."""
 
     name = "raise-affine-to-affine"
@@ -227,13 +230,19 @@ class RaiseAffineToAffinePass(Pass):
         self.stats = RaisingStats()
 
     def run(self, module: ModuleOp, context: Context) -> None:
-        pattern = TacticRewritePattern(
-            gemm_tactic(), target="affine", stats=self.stats
+        # Freeze the pattern set once per run, not once per function.
+        self._frozen = FrozenPatternSet(
+            [TacticRewritePattern(gemm_tactic(), target="affine", stats=self.stats)]
         )
-        apply_patterns_greedily(module, [pattern])
+        super().run(module, context)
+
+    def run_on_function(self, func, context: Context):
+        result = apply_patterns_greedily(func, self._frozen)
+        self.rewrite_results.append(result)
+        return result.changed
 
 
-class RaiseAffineToLinalgPass(Pass):
+class RaiseAffineToLinalgPass(FunctionPass):
     """-raise-affine-to-linalg: loop nests -> Linalg named ops."""
 
     name = "raise-affine-to-linalg"
@@ -263,7 +272,13 @@ class RaiseAffineToLinalgPass(Pass):
             from .generic_raising import GenericContractionPattern
 
             patterns.append(GenericContractionPattern(self.stats))
-        apply_patterns_greedily(module, patterns)
+        self._frozen = FrozenPatternSet(patterns)
+        super().run(module, context)
+
+    def run_on_function(self, func, context: Context):
+        result = apply_patterns_greedily(func, self._frozen)
+        self.rewrite_results.append(result)
+        return result.changed
 
 
 # ----------------------------------------------------------------------

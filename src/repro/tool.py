@@ -135,7 +135,17 @@ def main(argv: List[str] = None) -> int:
         "--no-verify", action="store_true", help="skip final verification"
     )
     parser.add_argument(
-        "--timing", action="store_true", help="print per-pass timing"
+        "--timing",
+        action="store_true",
+        help="print per-pass timing (with a nested per-pattern breakdown "
+        "for pattern-driver passes)",
+    )
+    parser.add_argument(
+        "--driver",
+        choices=["worklist", "snapshot"],
+        default="worklist",
+        help="greedy pattern driver (default: worklist; snapshot is the "
+        "reference full-sweep driver)",
     )
     parser.add_argument(
         "--estimate",
@@ -170,6 +180,9 @@ def main(argv: List[str] = None) -> int:
     except (CSyntaxError, CLexError, ParseError) as exc:
         sys.stderr.write(f"mlt-opt: {args.input}: {exc}\n")
         return 1
+    from .ir import set_default_driver
+
+    set_default_driver(args.driver)
     pm = build_pipeline(pass_names)
     timing = pm.run(module)
     if not args.no_verify:
@@ -297,6 +310,11 @@ def fuzz_main(argv: List[str] = None) -> int:
         action="store_true",
         help="skip the compiled-engine cross-check at every stage",
     )
+    parser.add_argument(
+        "--no-driver-diff",
+        action="store_true",
+        help="skip the worklist-vs-snapshot pattern-driver IR diff",
+    )
     args = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
 
     pipelines = args.pipelines.split(",") if args.pipelines else None
@@ -308,6 +326,7 @@ def fuzz_main(argv: List[str] = None) -> int:
             check_modules=not args.no_modules,
             write_artifacts=not args.no_artifacts,
             check_engine=not args.no_engine_diff,
+            check_drivers=not args.no_driver_diff,
         )
     except ValueError as exc:
         parser.error(str(exc))

@@ -1,13 +1,27 @@
 """Canonicalization: constant folding, dead-code elimination, and
-removal of empty or zero-trip loops."""
+removal of empty or zero-trip loops.
+
+Implemented as root-indexed rewrite patterns on the greedy driver: one
+DCE pattern per pure op name, one fold pattern per foldable op name,
+and an empty-loop pattern rooted at ``affine.for`` — so the worklist
+driver's ``FrozenPatternSet`` prunes the match space to exactly the ops
+each simplification can apply to.
+"""
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 from ..dialects import std
 from ..dialects.affine import AffineApplyOp, AffineForOp
-from ..ir import FunctionPass, Operation
+from ..ir import (
+    FrozenPatternSet,
+    FunctionPass,
+    Operation,
+    PatternRewriter,
+    RewritePattern,
+    apply_patterns_greedily,
+)
 
 #: Ops with no side effects whose unused results can be deleted.
 _PURE_OPS = {
@@ -25,6 +39,22 @@ _PURE_OPS = {
     "affine.load",
     "affine.apply",
 }
+
+def _foldable_op_names():
+    """Every registered op ``_fold`` can evaluate: binary std
+    arithmetic plus affine.apply."""
+    from ..ir import OP_REGISTRY
+
+    names = sorted(
+        name
+        for name, cls in OP_REGISTRY.items()
+        if isinstance(cls, type) and issubclass(cls, std.BinaryArithOp)
+    )
+    names.append("affine.apply")
+    return tuple(names)
+
+#: Long dead-def chains retire one link per round; allow deep chains.
+_MAX_ITERATIONS = 10_000
 
 
 def _is_dead(op: Operation) -> bool:
@@ -63,42 +93,98 @@ def _is_empty_loop(op: Operation) -> bool:
     return not op.ops_in_body()
 
 
+class DeadOpElimination(RewritePattern):
+    """Erase a pure op whose results are all unused."""
+
+    benefit = 2  # erasure wins over folding the same op
+
+    def __init__(self, root_op_name: str):
+        self.root_op_name = root_op_name
+
+    @property
+    def pattern_name(self) -> str:
+        return f"dce<{self.root_op_name}>"
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        if not _is_dead(op):
+            return False
+        rewriter.erase_op(op)
+        return True
+
+
+class EmptyLoopElimination(RewritePattern):
+    """Erase ``affine.for`` loops with no body or zero trip count."""
+
+    root_op_name = "affine.for"
+    benefit = 2
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        if not _is_empty_loop(op):
+            return False
+        rewriter.erase_op(op)
+        return True
+
+
+class ConstantFolding(RewritePattern):
+    """Replace an op over constant operands with a constant."""
+
+    benefit = 1
+
+    def __init__(self, root_op_name: str):
+        self.root_op_name = root_op_name
+
+    @property
+    def pattern_name(self) -> str:
+        return f"fold<{self.root_op_name}>"
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        folded = _fold(op)
+        if folded is None:
+            return False
+        rewriter.set_insertion_point_before(op)
+        const = rewriter.insert(
+            std.ConstantOp.create(folded, op.results[0].type)
+        )
+        rewriter.replace_op(op, [const.result])
+        return True
+
+
+def canonicalization_patterns() -> List[RewritePattern]:
+    patterns: List[RewritePattern] = [
+        DeadOpElimination(name) for name in sorted(_PURE_OPS)
+    ]
+    patterns.append(EmptyLoopElimination())
+    patterns.extend(ConstantFolding(name) for name in _foldable_op_names())
+    return patterns
+
+
+_FROZEN_CACHE: Optional[FrozenPatternSet] = None
+
+
+def _frozen_canonicalization_set() -> FrozenPatternSet:
+    global _FROZEN_CACHE
+    if _FROZEN_CACHE is None:
+        _FROZEN_CACHE = FrozenPatternSet(canonicalization_patterns())
+    return _FROZEN_CACHE
+
+
 def canonicalize(root: Operation) -> int:
     """Fold constants and strip dead code until fixpoint.
 
     Returns the number of simplifications applied.
     """
-    total = 0
-    changed = True
-    while changed:
-        changed = False
-        for op in list(root.walk()):
-            if op is root or op.parent_block is None:
-                continue
-            node = op
-            while node is not None and node is not root:
-                node = node.parent_op
-            if node is None:
-                continue  # already detached this sweep
-            if _is_dead(op) or _is_empty_loop(op):
-                op.erase()
-                total += 1
-                changed = True
-                continue
-            folded = _fold(op)
-            if folded is not None:
-                const = std.ConstantOp.create(folded, op.results[0].type)
-                block = op.parent_block
-                block.insert(block.operations.index(op), const)
-                op.replace_all_uses_with([const.result])
-                op.erase()
-                total += 1
-                changed = True
-    return total
+    result = apply_patterns_greedily(
+        root, _frozen_canonicalization_set(), max_iterations=_MAX_ITERATIONS
+    )
+    return result.num_rewrites
 
 
 class CanonicalizePass(FunctionPass):
     name = "canonicalize"
 
-    def run_on_function(self, func, context) -> None:
-        canonicalize(func)
+    def run_on_function(self, func, context):
+        result = apply_patterns_greedily(
+            func, _frozen_canonicalization_set(), max_iterations=_MAX_ITERATIONS
+        )
+        self.rewrite_results.append(result)
+        return result.changed

@@ -217,5 +217,5 @@ def delinearize_accesses(func) -> int:
 class DelinearizationPass(FunctionPass):
     name = "affine-delinearize"
 
-    def run_on_function(self, func, context) -> None:
-        delinearize_accesses(func)
+    def run_on_function(self, func, context):
+        return delinearize_accesses(func)

@@ -212,5 +212,5 @@ def distribute_loops(root: Operation) -> int:
 class LoopDistributionPass(FunctionPass):
     name = "affine-loop-distribution"
 
-    def run_on_function(self, func, context) -> None:
-        distribute_loops(func)
+    def run_on_function(self, func, context):
+        return distribute_loops(func)

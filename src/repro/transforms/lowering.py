@@ -11,6 +11,12 @@ paper complements with raising.  Every step is a pass:
   * :class:`LinalgToBlasPass`     — the MLT-BLAS alternative: structured
     ops to vendor library calls
   * :class:`LowerBlasToLLVMPass`  — library ops to ``llvm.call``
+
+Each per-op lowering is exposed as a ``RewritePattern`` with a declared
+``root_op_name``, so the greedy driver's ``FrozenPatternSet`` only ever
+tries a lowering on ops it can actually apply to.  (The CFG-peeling
+half of SCF→LLVM operates on blocks, not single ops, and stays a
+structural loop.)
 """
 
 from __future__ import annotations
@@ -37,13 +43,17 @@ from ..ir import (
     Block,
     Builder,
     Context,
+    FrozenPatternSet,
     FunctionPass,
     IRError,
     InsertionPoint,
     ModuleOp,
     Operation,
     PassManager,
+    PatternRewriter,
+    RewritePattern,
     Value,
+    apply_patterns_greedily,
     index,
 )
 from ..ir import affine_expr as ae
@@ -54,12 +64,29 @@ from .canonicalize import CanonicalizePass
 # ----------------------------------------------------------------------
 
 
-def _loop_nest_before(op: Operation, bounds) -> List[Value]:
+def _builder_before(op: Operation, rewriter: Optional[PatternRewriter]) -> Builder:
+    """An insertion helper before ``op`` — the rewriter itself when the
+    lowering runs under the pattern driver (so creations are notified),
+    a plain Builder otherwise."""
+    if rewriter is not None:
+        rewriter.set_insertion_point_before(op)
+        return rewriter
+    return Builder(InsertionPoint.before(op))
+
+
+def _erase(op: Operation, rewriter: Optional[PatternRewriter]) -> None:
+    if rewriter is not None:
+        rewriter.erase_op(op)
+    else:
+        op.erase()
+
+
+def _loop_nest_before(op: Operation, bounds, rewriter=None) -> List[Value]:
     """Create a constant-bound loop nest before ``op``; return the IVs.
 
     The caller fills the innermost body via ``ivs[0].owner`` etc.
     """
-    builder = Builder(InsertionPoint.before(op))
+    builder = _builder_before(op, rewriter)
     loops, ivs = build_loop_nest(builder, [(0, ub) for ub in bounds])
     return loops, ivs
 
@@ -69,11 +96,11 @@ def _innermost_builder(loops) -> Builder:
     return Builder(InsertionPoint(inner, len(inner.operations) - 1))
 
 
-def _lower_matmul_like(op, a, b, c) -> None:
+def _lower_matmul_like(op, a, b, c, rewriter=None) -> None:
     """Emit the canonical triple loop ``C[i,j] += A[i,k] * B[k,j]``."""
     m, k = a.type.shape
     n = b.type.shape[1]
-    loops, (i, j, kk) = _loop_nest_before(op, [m, n, k])
+    loops, (i, j, kk) = _loop_nest_before(op, [m, n, k], rewriter)
     body = _innermost_builder(loops)
     c_val = body.insert(AffineLoadOp.create(c, [i, j])).result
     a_val = body.insert(AffineLoadOp.create(a, [i, kk])).result
@@ -81,16 +108,16 @@ def _lower_matmul_like(op, a, b, c) -> None:
     mul = body.insert(std.MulFOp.create(a_val, b_val)).result
     add = body.insert(std.AddFOp.create(mul, c_val)).result
     body.insert(AffineStoreOp.create(add, c, [i, j]))
-    op.erase()
+    _erase(op, rewriter)
 
 
-def lower_linalg_op_to_affine(op: Operation) -> bool:
+def lower_linalg_op_to_affine(op: Operation, rewriter=None) -> bool:
     """Lower one linalg op in place; returns False if unrecognized."""
     if isinstance(op, linalg_d.MatmulOp):
-        _lower_matmul_like(op, op.a, op.b, op.c)
+        _lower_matmul_like(op, op.a, op.b, op.c, rewriter)
         return True
     if isinstance(op, AffineMatmulOp):
-        _lower_matmul_like(op, op.a, op.b, op.c)
+        _lower_matmul_like(op, op.a, op.b, op.c, rewriter)
         return True
     if isinstance(op, linalg_d.MatvecOp):
         a, x, y = op.a, op.x, op.y
@@ -98,7 +125,7 @@ def lower_linalg_op_to_affine(op: Operation) -> bool:
         if op.trans:
             # y[j] += A[i, j] * x[i]: keep the matrix's contiguous
             # dimension innermost (row-major streaming), reduction outer.
-            loops, (i, j) = _loop_nest_before(op, [rows, cols])
+            loops, (i, j) = _loop_nest_before(op, [rows, cols], rewriter)
             body = _innermost_builder(loops)
             y_val = body.insert(AffineLoadOp.create(y, [j])).result
             a_val = body.insert(AffineLoadOp.create(a, [i, j])).result
@@ -107,7 +134,7 @@ def lower_linalg_op_to_affine(op: Operation) -> bool:
             add = body.insert(std.AddFOp.create(mul, y_val)).result
             body.insert(AffineStoreOp.create(add, y, [j]))
         else:
-            loops, (i, j) = _loop_nest_before(op, [rows, cols])
+            loops, (i, j) = _loop_nest_before(op, [rows, cols], rewriter)
             body = _innermost_builder(loops)
             y_val = body.insert(AffineLoadOp.create(y, [i])).result
             a_val = body.insert(AffineLoadOp.create(a, [i, j])).result
@@ -115,12 +142,12 @@ def lower_linalg_op_to_affine(op: Operation) -> bool:
             mul = body.insert(std.MulFOp.create(a_val, x_val)).result
             add = body.insert(std.AddFOp.create(mul, y_val)).result
             body.insert(AffineStoreOp.create(add, y, [i]))
-        op.erase()
+        _erase(op, rewriter)
         return True
     if isinstance(op, linalg_d.TransposeOp):
         perm = op.permutation
         out_shape = op.output.type.shape
-        loops, ivs = _loop_nest_before(op, list(out_shape))
+        loops, ivs = _loop_nest_before(op, list(out_shape), rewriter)
         body = _innermost_builder(loops)
         # out[i0..in] = in[i_perm[0]], permuted by the permutation.
         in_ivs = [None] * len(perm)
@@ -128,43 +155,43 @@ def lower_linalg_op_to_affine(op: Operation) -> bool:
             in_ivs[in_dim] = ivs[out_dim]
         val = body.insert(AffineLoadOp.create(op.input, in_ivs)).result
         body.insert(AffineStoreOp.create(val, op.output, ivs))
-        op.erase()
+        _erase(op, rewriter)
         return True
     if isinstance(op, linalg_d.ReshapeOp):
-        _lower_reshape(op)
+        _lower_reshape(op, rewriter)
         return True
     if isinstance(op, linalg_d.Conv2DNchwOp):
-        _lower_conv2d(op)
+        _lower_conv2d(op, rewriter)
         return True
     if isinstance(op, linalg_d.FillOp):
         shape = op.output.type.shape
-        loops, ivs = _loop_nest_before(op, list(shape))
+        loops, ivs = _loop_nest_before(op, list(shape), rewriter)
         body = _innermost_builder(loops)
         body.insert(AffineStoreOp.create(op.fill_value, op.output, ivs))
-        op.erase()
+        _erase(op, rewriter)
         return True
     if isinstance(op, linalg_d.CopyOp):
         shape = op.output.type.shape
-        loops, ivs = _loop_nest_before(op, list(shape))
+        loops, ivs = _loop_nest_before(op, list(shape), rewriter)
         body = _innermost_builder(loops)
         val = body.insert(AffineLoadOp.create(op.input, ivs)).result
         body.insert(AffineStoreOp.create(val, op.output, ivs))
-        op.erase()
+        _erase(op, rewriter)
         return True
     if isinstance(op, linalg_d.GenericOp):
-        _lower_generic(op)
+        _lower_generic(op, rewriter)
         return True
     return False
 
 
-def _lower_reshape(op: linalg_d.ReshapeOp) -> None:
+def _lower_reshape(op: linalg_d.ReshapeOp, rewriter=None) -> None:
     groups = op.reassociation
     if op.is_collapse():
         high, low = op.input, op.output
     else:
         high, low = op.output, op.input
     high_shape = high.type.shape
-    loops, ivs = _loop_nest_before(op, list(high_shape))
+    loops, ivs = _loop_nest_before(op, list(high_shape), rewriter)
     body = _innermost_builder(loops)
     # Each low-rank subscript is the row-major linearization of its group.
     low_exprs: List[ae.AffineExpr] = []
@@ -180,13 +207,13 @@ def _lower_reshape(op: linalg_d.ReshapeOp) -> None:
     else:
         val = body.insert(AffineLoadOp.create(low, ivs, low_map)).result
         body.insert(AffineStoreOp.create(val, high, ivs))
-    op.erase()
+    _erase(op, rewriter)
 
 
-def _lower_conv2d(op: linalg_d.Conv2DNchwOp) -> None:
+def _lower_conv2d(op: linalg_d.Conv2DNchwOp, rewriter=None) -> None:
     n, f, oh, ow = op.output.type.shape
     _, c, kh, kw = op.kernel.type.shape
-    loops, ivs = _loop_nest_before(op, [n, f, oh, ow, c, kh, kw])
+    loops, ivs = _loop_nest_before(op, [n, f, oh, ow, c, kh, kw], rewriter)
     i_n, i_f, i_oh, i_ow, i_c, i_kh, i_kw = ivs
     body = _innermost_builder(loops)
     out_val = body.insert(
@@ -212,12 +239,12 @@ def _lower_conv2d(op: linalg_d.Conv2DNchwOp) -> None:
     mul = body.insert(std.MulFOp.create(in_val, k_val)).result
     add = body.insert(std.AddFOp.create(mul, out_val)).result
     body.insert(AffineStoreOp.create(add, op.output, [i_n, i_f, i_oh, i_ow]))
-    op.erase()
+    _erase(op, rewriter)
 
 
-def _lower_generic(op: linalg_d.GenericOp) -> None:
+def _lower_generic(op: linalg_d.GenericOp, rewriter=None) -> None:
     extents = op.iteration_domain()
-    loops, ivs = _loop_nest_before(op, extents)
+    loops, ivs = _loop_nest_before(op, extents, rewriter)
     body = _innermost_builder(loops)
     value_map: Dict = {}
     for operand, map_, block_arg in zip(
@@ -238,28 +265,69 @@ def _lower_generic(op: linalg_d.GenericOp) -> None:
                 value_map.get(yielded_value, yielded_value), out, ivs, out_map
             )
         )
-    op.erase()
+    _erase(op, rewriter)
+
+
+#: Op names ``lower_linalg_to_affine`` rewrites (``affine.matmul`` is
+#: deliberately excluded — expanding it is ExpandAffineMatmulPass's job).
+_LINALG_TO_AFFINE_ROOTS = (
+    "linalg.matmul",
+    "linalg.matvec",
+    "linalg.transpose",
+    "linalg.reshape",
+    "linalg.conv2d_nchw",
+    "linalg.fill",
+    "linalg.copy",
+    "linalg.generic",
+)
+
+
+class LinalgToAffinePattern(RewritePattern):
+    """Lower one linalg op (per root name) to affine loops."""
+
+    def __init__(self, root_op_name: str):
+        self.root_op_name = root_op_name
+
+    @property
+    def pattern_name(self) -> str:
+        return f"to-affine<{self.root_op_name}>"
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        return lower_linalg_op_to_affine(op, rewriter)
+
+
+_LINALG_TO_AFFINE_CACHE: Optional[FrozenPatternSet] = None
+
+
+def _linalg_to_affine_set() -> FrozenPatternSet:
+    global _LINALG_TO_AFFINE_CACHE
+    if _LINALG_TO_AFFINE_CACHE is None:
+        _LINALG_TO_AFFINE_CACHE = FrozenPatternSet(
+            [LinalgToAffinePattern(name) for name in _LINALG_TO_AFFINE_ROOTS]
+        )
+    return _LINALG_TO_AFFINE_CACHE
 
 
 def lower_linalg_to_affine(root: Operation) -> int:
-    count = 0
-    changed = True
-    while changed:
-        changed = False
-        for op in list(root.walk()):
-            if op.dialect == "linalg" and not op.IS_TERMINATOR:
-                if lower_linalg_op_to_affine(op):
-                    count += 1
-                    changed = True
-                    break
-    return count
+    result = apply_patterns_greedily(root, _linalg_to_affine_set())
+    return result.num_rewrites
 
 
 class LinalgToAffinePass(FunctionPass):
     name = "convert-linalg-to-affine-loops"
 
-    def run_on_function(self, func, context) -> None:
-        lower_linalg_to_affine(func)
+    def run_on_function(self, func, context):
+        result = apply_patterns_greedily(func, _linalg_to_affine_set())
+        self.rewrite_results.append(result)
+        return result.changed
+
+
+class ExpandAffineMatmulPattern(RewritePattern):
+    root_op_name = "affine.matmul"
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        _lower_matmul_like(op, op.a, op.b, op.c, rewriter)
+        return True
 
 
 class ExpandAffineMatmulPass(FunctionPass):
@@ -272,15 +340,68 @@ class ExpandAffineMatmulPass(FunctionPass):
 
     name = "affine-expand-matmul"
 
-    def run_on_function(self, func, context) -> None:
-        for op in list(func.walk()):
-            if isinstance(op, AffineMatmulOp):
-                _lower_matmul_like(op, op.a, op.b, op.c)
+    _frozen = FrozenPatternSet([ExpandAffineMatmulPattern()])
+
+    def run_on_function(self, func, context):
+        result = apply_patterns_greedily(func, self._frozen)
+        self.rewrite_results.append(result)
+        return result.changed
 
 
 # ----------------------------------------------------------------------
 # Linalg -> BLAS (the MLT-BLAS path)
 # ----------------------------------------------------------------------
+
+
+def _convert_linalg_to_blas(op: Operation, library: str) -> Optional[Operation]:
+    lib = library
+    if isinstance(op, linalg_d.MatmulOp):
+        return blas_d.SgemmOp.create(op.a, op.b, op.c, library=lib)
+    if isinstance(op, linalg_d.MatvecOp):
+        return blas_d.SgemvOp.create(
+            op.a, op.x, op.y, library=lib, trans=op.trans
+        )
+    if isinstance(op, linalg_d.TransposeOp):
+        return blas_d.TransposeOp.create(
+            op.input, op.output, op.permutation, library=lib
+        )
+    if isinstance(op, linalg_d.ReshapeOp):
+        return blas_d.ReshapeOp.create(
+            op.input, op.output, op.reassociation, library=lib
+        )
+    if isinstance(op, linalg_d.Conv2DNchwOp):
+        return blas_d.Conv2DOp.create(
+            op.input, op.kernel, op.output, library=lib
+        )
+    return None
+
+
+_LINALG_TO_BLAS_ROOTS = (
+    "linalg.matmul",
+    "linalg.matvec",
+    "linalg.transpose",
+    "linalg.reshape",
+    "linalg.conv2d_nchw",
+)
+
+
+class LinalgToBlasPattern(RewritePattern):
+    def __init__(self, root_op_name: str, library: str):
+        self.root_op_name = root_op_name
+        self.library = library
+
+    @property
+    def pattern_name(self) -> str:
+        return f"to-blas<{self.root_op_name}>"
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        replacement = _convert_linalg_to_blas(op, self.library)
+        if replacement is None:
+            return False
+        rewriter.set_insertion_point_before(op)
+        rewriter.insert(replacement)
+        rewriter.erase_op(op)
+        return True
 
 
 class LinalgToBlasPass(FunctionPass):
@@ -290,36 +411,20 @@ class LinalgToBlasPass(FunctionPass):
 
     def __init__(self, library: str = "mkl-dnn"):
         self.library = library
+        self._frozen = FrozenPatternSet(
+            [
+                LinalgToBlasPattern(name, library)
+                for name in _LINALG_TO_BLAS_ROOTS
+            ]
+        )
 
-    def run_on_function(self, func, context) -> None:
-        for op in list(func.walk()):
-            replacement = self._convert(op)
-            if replacement is not None:
-                block = op.parent_block
-                block.insert(block.operations.index(op), replacement)
-                op.erase()
+    def run_on_function(self, func, context):
+        result = apply_patterns_greedily(func, self._frozen)
+        self.rewrite_results.append(result)
+        return result.changed
 
     def _convert(self, op: Operation) -> Optional[Operation]:
-        lib = self.library
-        if isinstance(op, linalg_d.MatmulOp):
-            return blas_d.SgemmOp.create(op.a, op.b, op.c, library=lib)
-        if isinstance(op, linalg_d.MatvecOp):
-            return blas_d.SgemvOp.create(
-                op.a, op.x, op.y, library=lib, trans=op.trans
-            )
-        if isinstance(op, linalg_d.TransposeOp):
-            return blas_d.TransposeOp.create(
-                op.input, op.output, op.permutation, library=lib
-            )
-        if isinstance(op, linalg_d.ReshapeOp):
-            return blas_d.ReshapeOp.create(
-                op.input, op.output, op.reassociation, library=lib
-            )
-        if isinstance(op, linalg_d.Conv2DNchwOp):
-            return blas_d.Conv2DOp.create(
-                op.input, op.kernel, op.output, library=lib
-            )
-        return None
+        return _convert_linalg_to_blas(op, self.library)
 
 
 # ----------------------------------------------------------------------
@@ -377,38 +482,8 @@ def _lower_affine_bound(
     return result
 
 
-def lower_affine_to_scf(func) -> int:
-    """Rewrite all affine ops in a function into scf/std form."""
-    count = 0
-    changed = True
-    while changed:
-        changed = False
-        for op in list(func.walk()):
-            if isinstance(op, AffineForOp):
-                _lower_one_affine_for(op)
-                count += 1
-                changed = True
-                break
-            if isinstance(op, (AffineLoadOp, AffineStoreOp)):
-                _lower_one_affine_access(op)
-                count += 1
-                changed = True
-                break
-            if isinstance(op, AffineApplyOp):
-                builder = Builder(InsertionPoint.before(op))
-                value = expand_affine_expr(
-                    builder, op.map.results[0], op.operands
-                )
-                op.replace_all_uses_with([value])
-                op.erase()
-                count += 1
-                changed = True
-                break
-    return count
-
-
-def _lower_one_affine_for(op: AffineForOp) -> None:
-    builder = Builder(InsertionPoint.before(op))
+def _lower_one_affine_for(op: AffineForOp, rewriter=None) -> None:
+    builder = _builder_before(op, rewriter)
     lb = _lower_affine_bound(
         builder, op.lower_bound_map, op.lb_operands, minimize=False
     )
@@ -425,30 +500,96 @@ def _lower_one_affine_for(op: AffineForOp) -> None:
         op.body.remove(body_op)
         target.insert(insert_at, body_op)
         insert_at += 1
+    if rewriter is not None:
+        # IV users were not redirected via replace_op; re-enqueue them.
+        rewriter.replaced_users.extend(op.induction_var.users)
     op.induction_var.replace_all_uses_with(scf_for.induction_var)
-    op.erase()
+    _erase(op, rewriter)
 
 
-def _lower_one_affine_access(op) -> None:
-    builder = Builder(InsertionPoint.before(op))
+def _lower_one_affine_access(op, rewriter=None) -> None:
+    builder = _builder_before(op, rewriter)
     indices = [
         expand_affine_expr(builder, expr, op.indices)
         for expr in op.map.results
     ]
     if isinstance(op, AffineLoadOp):
         new_op = builder.insert(std.LoadOp.create(op.memref, indices))
-        op.replace_all_uses_with([new_op.result])
-        op.erase()
+        if rewriter is not None:
+            rewriter.replace_op(op, [new_op.result])
+        else:
+            op.replace_all_uses_with([new_op.result])
+            op.erase()
     else:
         builder.insert(std.StoreOp.create(op.value, op.memref, indices))
-        op.erase()
+        _erase(op, rewriter)
+
+
+class AffineForLoweringPattern(RewritePattern):
+    root_op_name = "affine.for"
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        _lower_one_affine_for(op, rewriter)
+        return True
+
+
+class AffineAccessLoweringPattern(RewritePattern):
+    def __init__(self, root_op_name: str):
+        self.root_op_name = root_op_name
+
+    @property
+    def pattern_name(self) -> str:
+        return f"lower<{self.root_op_name}>"
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        _lower_one_affine_access(op, rewriter)
+        return True
+
+
+class AffineApplyLoweringPattern(RewritePattern):
+    root_op_name = "affine.apply"
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        builder = _builder_before(op, rewriter)
+        value = expand_affine_expr(builder, op.map.results[0], op.operands)
+        if rewriter is not None:
+            rewriter.replace_op(op, [value])
+        else:
+            op.replace_all_uses_with([value])
+            op.erase()
+        return True
+
+
+_AFFINE_TO_SCF_CACHE: Optional[FrozenPatternSet] = None
+
+
+def _affine_to_scf_set() -> FrozenPatternSet:
+    global _AFFINE_TO_SCF_CACHE
+    if _AFFINE_TO_SCF_CACHE is None:
+        _AFFINE_TO_SCF_CACHE = FrozenPatternSet(
+            [
+                AffineForLoweringPattern(),
+                AffineAccessLoweringPattern("affine.load"),
+                AffineAccessLoweringPattern("affine.store"),
+                AffineApplyLoweringPattern(),
+            ]
+        )
+    return _AFFINE_TO_SCF_CACHE
+
+
+def lower_affine_to_scf(func) -> int:
+    """Rewrite all affine ops in a function into scf/std form."""
+    result = apply_patterns_greedily(func, _affine_to_scf_set())
+    return result.num_rewrites
 
 
 class AffineToSCFPass(FunctionPass):
     name = "lower-affine"
 
-    def run_on_function(self, func, context) -> None:
-        lower_affine_to_scf(func)
+    def run_on_function(self, func, context):
+        result = apply_patterns_greedily(func, _affine_to_scf_set())
+        self.rewrite_results.append(result)
+        return result.changed
 
 
 # ----------------------------------------------------------------------
@@ -468,25 +609,51 @@ def _linearize_indices(
     return flat
 
 
-def lower_scf_to_llvm(func) -> int:
-    """Convert structured loops to explicit CFG and flatten memory ops."""
-    count = 0
-    # First flatten memory accesses (block-local rewrites).
-    for op in list(func.walk()):
+class MemAccessFlatteningPattern(RewritePattern):
+    """std.load/std.store -> llvm.load/llvm.store with a linearized
+    row-major index."""
+
+    def __init__(self, root_op_name: str):
+        self.root_op_name = root_op_name
+
+    @property
+    def pattern_name(self) -> str:
+        return f"flatten<{self.root_op_name}>"
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        builder = _builder_before(op, rewriter)
+        flat = _linearize_indices(builder, op.memref, op.indices)
         if isinstance(op, std.LoadOp):
-            builder = Builder(InsertionPoint.before(op))
-            flat = _linearize_indices(builder, op.memref, op.indices)
             new_op = builder.insert(llvm_d.LoadOp.create(op.memref, flat))
-            op.replace_all_uses_with([new_op.result])
-            op.erase()
-            count += 1
-        elif isinstance(op, std.StoreOp):
-            builder = Builder(InsertionPoint.before(op))
-            flat = _linearize_indices(builder, op.memref, op.indices)
+            if rewriter is not None:
+                rewriter.replace_op(op, [new_op.result])
+            else:
+                op.replace_all_uses_with([new_op.result])
+                op.erase()
+        else:
             builder.insert(llvm_d.StoreOp.create(op.value, op.memref, flat))
-            op.erase()
-            count += 1
-    # Then peel scf.for ops into blocks, outermost-first.
+            _erase(op, rewriter)
+        return True
+
+
+_FLATTEN_CACHE: Optional[FrozenPatternSet] = None
+
+
+def _flatten_set() -> FrozenPatternSet:
+    global _FLATTEN_CACHE
+    if _FLATTEN_CACHE is None:
+        _FLATTEN_CACHE = FrozenPatternSet(
+            [
+                MemAccessFlatteningPattern("std.load"),
+                MemAccessFlatteningPattern("std.store"),
+            ]
+        )
+    return _FLATTEN_CACHE
+
+
+def _peel_all_loops(func) -> int:
+    """Peel scf.for ops into explicit CFG blocks, outermost-first."""
+    count = 0
     region = func.regions[0]
     changed = True
     while changed:
@@ -503,6 +670,12 @@ def lower_scf_to_llvm(func) -> int:
             changed = True
             break
     return count
+
+
+def lower_scf_to_llvm(func) -> int:
+    """Convert structured loops to explicit CFG and flatten memory ops."""
+    result = apply_patterns_greedily(func, _flatten_set())
+    return result.num_rewrites + _peel_all_loops(func)
 
 
 def _peel_loop_into_cfg(region, block: Block, loop) -> None:
@@ -544,8 +717,27 @@ def _peel_loop_into_cfg(region, block: Block, loop) -> None:
 class SCFToLLVMPass(FunctionPass):
     name = "convert-scf-to-llvm"
 
-    def run_on_function(self, func, context) -> None:
-        lower_scf_to_llvm(func)
+    def run_on_function(self, func, context):
+        result = apply_patterns_greedily(func, _flatten_set())
+        self.rewrite_results.append(result)
+        peeled = _peel_all_loops(func)
+        return result.changed or peeled > 0
+
+
+class LowerBlasToLLVMPattern(RewritePattern):
+    def __init__(self, root_op_name: str, symbol: str):
+        self.root_op_name = root_op_name
+        self.symbol = symbol
+
+    @property
+    def pattern_name(self) -> str:
+        return f"to-llvm-call<{self.root_op_name}>"
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        rewriter.set_insertion_point_before(op)
+        rewriter.insert(llvm_d.CallOp.create(self.symbol, op.operands))
+        rewriter.erase_op(op)
+        return True
 
 
 class LowerBlasToLLVMPass(FunctionPass):
@@ -561,14 +753,17 @@ class LowerBlasToLLVMPass(FunctionPass):
         "blas.conv2d": "mkldnn_convolution_forward",
     }
 
-    def run_on_function(self, func, context) -> None:
-        for op in list(func.walk()):
-            symbol = self._SYMBOLS.get(op.name)
-            if symbol is None:
-                continue
-            builder = Builder(InsertionPoint.before(op))
-            builder.insert(llvm_d.CallOp.create(symbol, op.operands))
-            op.erase()
+    _frozen = FrozenPatternSet(
+        [
+            LowerBlasToLLVMPattern(name, symbol)
+            for name, symbol in sorted(_SYMBOLS.items())
+        ]
+    )
+
+    def run_on_function(self, func, context):
+        result = apply_patterns_greedily(func, self._frozen)
+        self.rewrite_results.append(result)
+        return result.changed
 
 
 # ----------------------------------------------------------------------

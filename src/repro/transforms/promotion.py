@@ -24,6 +24,12 @@ from ..ir import (
 from ..ir import affine_expr as ae
 
 
+#: Total change count of the most recent ``promote_scf_to_affine`` call
+#: (loops + accesses + cleanups); the public return value stays "loops
+#: promoted" for API compatibility.
+_LAST_RUN_CHANGES = [0]
+
+
 def _constant_value(value: Value) -> Optional[int]:
     def_op = value.defining_op
     if isinstance(def_op, std.ConstantOp):
@@ -72,12 +78,17 @@ def promote_scf_to_affine(func) -> int:
                 changed = True
                 break
     # Promote std-level accesses that now sit inside affine loops.
+    accesses = 0
     for op in list(func.walk()):
         if isinstance(op, (std.LoadOp, std.StoreOp)):
-            _promote_access(op)
+            accesses += 1 if _promote_access(op) else 0
     from .canonicalize import canonicalize
 
-    canonicalize(func)
+    cleaned = canonicalize(func)
+    # The return value stays "number of promoted loops" for callers,
+    # but SCFToAffinePass separately needs a dirty indicator covering
+    # access promotion and cleanup too (see run_on_function).
+    _LAST_RUN_CHANGES[0] = promoted + accesses + cleaned
     return promoted
 
 
@@ -101,7 +112,7 @@ def _promote_one(loop: scf_d.ForOp) -> bool:
     return True
 
 
-def _promote_access(op) -> None:
+def _promote_access(op) -> bool:
     """std.load/store with affine indices -> affine.load/store."""
     from ..analysis.accesses import enclosing_loops
     from ..ir import Builder, InsertionPoint
@@ -115,7 +126,7 @@ def _promote_access(op) -> None:
     for index_value in op.indices:
         expr = _as_affine_index(index_value, iv_env, operands)
         if expr is None or expr.as_linear() is None:
-            return
+            return False
         exprs.append(expr)
     map_ = AffineMap(len(operands), 0, exprs)
     builder = Builder(InsertionPoint.before(op))
@@ -130,10 +141,12 @@ def _promote_access(op) -> None:
             AffineStoreOp.create(op.value, op.memref, operands, map_)
         )
         op.erase()
+    return True
 
 
 class SCFToAffinePass(FunctionPass):
     name = "raise-scf-to-affine"
 
-    def run_on_function(self, func, context) -> None:
+    def run_on_function(self, func, context):
         promote_scf_to_affine(func)
+        return _LAST_RUN_CHANGES[0]

@@ -124,12 +124,15 @@ class TileLoopNestPass(FunctionPass):
     def __init__(self, tile_size: int = 32):
         self.tile_size = tile_size
 
-    def run_on_function(self, func, context) -> None:
+    def run_on_function(self, func, context):
         from ..dialects.affine import outermost_loops
 
+        tiled = 0
         for loop in outermost_loops(func):
             band = perfect_nest(loop)
             try:
                 tile_perfect_nest(loop, [self.tile_size] * len(band))
             except TilingError:
                 continue
+            tiled += 1
+        return tiled

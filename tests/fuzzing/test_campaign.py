@@ -17,8 +17,9 @@ class TestCampaignCleanCodebase:
         stats = campaign.run(6)
         assert stats.ok, stats.summary()
         assert stats.seeds_run == 6
-        # 3 pipelines x (C kernel + affine module) + expectation check
-        assert stats.checks == 6 * 7
+        # 3 pipelines x (C kernel + affine module + 2 driver-diff
+        # checks) + expectation check
+        assert stats.checks == 6 * 13
         assert stats.stages_checked > stats.checks
         assert not os.path.exists(tmp_path / "ff")  # no failures, no dir
 

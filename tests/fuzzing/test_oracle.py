@@ -124,3 +124,42 @@ class TestOracleFailureModes:
     def test_summary_names_first_failing_stage(self, pipelines):
         report = run_oracle("not C at all", pipelines["mlt-blas"], "f")
         assert "FAIL at stage 'met'" in report.summary()
+
+
+class TestDriverEquivalence:
+    def test_gemm_drivers_agree_on_every_pipeline(self, pipelines):
+        from repro.fuzzing.oracle import check_driver_equivalence
+
+        module = compile_c(GEMM, distribute=False)
+        for name in DEFAULT_PIPELINES:
+            result = check_driver_equivalence(module, pipelines[name])
+            assert result.ok, result.detail
+            assert result.stage == f"driver-diff:{name}"
+            assert result.ir_text  # final IR captured for artifacts
+
+    def test_input_module_is_not_mutated(self, pipelines):
+        from repro.ir import print_module
+        from repro.fuzzing.oracle import check_driver_equivalence
+
+        module = compile_c(GEMM, distribute=False)
+        before = print_module(module)
+        check_driver_equivalence(module, pipelines["mlt-linalg"])
+        assert print_module(module) == before
+
+    def test_divergent_driver_is_detected(self, pipelines, monkeypatch):
+        """Force the worklist driver to diverge and check the diff is
+        reported as a driver-diff failure."""
+        from repro.fuzzing.oracle import check_driver_equivalence
+        from repro.ir import rewrite
+
+        def noop_driver(root, patterns, max_iterations=64):
+            return rewrite.RewriteResult()
+
+        monkeypatch.setattr(
+            rewrite, "apply_patterns_worklist", noop_driver
+        )
+        module = compile_c(GEMM, distribute=False)
+        result = check_driver_equivalence(module, pipelines["mlt-affine"])
+        assert not result.ok
+        assert result.kind == "driver-diff"
+        assert "drivers disagree" in result.detail

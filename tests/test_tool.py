@@ -92,6 +92,26 @@ class TestMain:
         )
         assert "Pass execution timing" in err
 
+    def test_timing_nested_pattern_tree(self, c_file, capsys):
+        _, _, err = self._run(
+            [c_file, "-raise-affine-to-linalg", "-canonicalize", "--timing"],
+            capsys,
+        )
+        assert "Pass execution timing" in err
+        assert "`-" in err  # per-pattern lines under the pass
+        assert "trials=" in err
+
+    def test_driver_flag_snapshot_matches_worklist(self, c_file, capsys):
+        out_by_driver = {}
+        for driver in ("worklist", "snapshot"):
+            _, out, _ = self._run(
+                [c_file, "-raise-affine-to-linalg", f"--driver={driver}"],
+                capsys,
+            )
+            out_by_driver[driver] = out
+        assert "linalg.matmul" in out_by_driver["worklist"]
+        assert out_by_driver["worklist"] == out_by_driver["snapshot"]
+
     def test_estimate_flag(self, c_file, capsys):
         _, _, err = self._run([c_file, "--estimate=amd"], capsys)
         assert "GFLOP/s" in err
