@@ -215,13 +215,79 @@ def _compile_time_smoke(kernel: str) -> int:
     return 0
 
 
+def _scale_study(args) -> int:
+    """Corpus mode (``--jobs N``): shard the 16-kernel corpus across a
+    worker pool and a persistent cache, measure speedup vs. worker
+    count and cache warmth, and write results/BENCH_scale.json."""
+    from repro.evaluation.kernels import PAPER_BENCHMARKS
+    from repro.runtime.bench import DEFAULT_PIPELINES, run_scale_study
+
+    kernels = (
+        args.kernels.split(",") if args.kernels else list(PAPER_BENCHMARKS)
+    )
+    pipelines = (
+        args.pipelines.split(",")
+        if args.pipelines
+        else list(DEFAULT_PIPELINES)
+    )
+    cache_dir = args.cache_dir or os.path.join(RESULTS_DIR, "kernel-cache")
+    study = run_scale_study(
+        args.jobs,
+        kernels,
+        pipelines,
+        cache_dir=cache_dir,
+        heavy=args.heavy,
+        execute=args.execute_units,
+        seed=args.seed,
+    )
+    # unit_rows are per-run detail; keep the persisted report compact.
+    slim_rows = [
+        {k: v for k, v in row.items() if k != "unit_rows"}
+        for row in study["rows"]
+    ]
+    payload = {"rows": slim_rows, "summary": study["summary"]}
+    path = report_json("BENCH_scale", payload)
+    summary = study["summary"]
+    table = format_table(
+        f"scale study — {len(kernels)}-kernel corpus x "
+        f"{len(pipelines)} pipelines, --jobs {args.jobs}",
+        ["cache", "jobs", "wall_time_s", "codegen", "module hits"],
+        [
+            (
+                row["cache"],
+                row["jobs"],
+                f"{row['wall_time_s']:.4f}",
+                row["codegen_count"],
+                row["module_cache_hits"],
+            )
+            for row in slim_rows
+        ],
+    )
+    print(table)
+    print(f"\nwrote {path}")
+    print(
+        f"speedup (cold serial vs best): {summary['speedup']:.2f}x; "
+        f"warm single-job: {summary['warm_speedup']:.2f}x, "
+        f"{summary['warm_codegen_count']} codegen invocations"
+        + (
+            f"; cold parallel: {summary['parallel_speedup']:.2f}x"
+            if summary["parallel_speedup"] is not None
+            else ""
+        )
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="benchmarks.harness",
         description=(
             "Bench smoke: run one small Figure-9 kernel through the "
             "baseline and raised (BLAS) pipelines, compare execution "
-            "backends, and write results/BENCH_fig9.json."
+            "backends, and write results/BENCH_fig9.json.  With "
+            "--jobs N, instead shard the full 16-kernel corpus across "
+            "a worker pool and a persistent kernel cache and write "
+            "results/BENCH_scale.json."
         ),
     )
     parser.add_argument(
@@ -250,7 +316,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="BENCH_fig9",
         help="results/<out>.json report name (default: BENCH_fig9)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        help="corpus mode: measure the 16-kernel corpus with this many "
+        "worker processes (plus a jobs=1 baseline and warm-cache "
+        "re-runs); writes results/BENCH_scale.json",
+    )
+    parser.add_argument(
+        "--kernels",
+        help="corpus mode: comma-separated kernel subset "
+        "(default: the full paper corpus)",
+    )
+    parser.add_argument(
+        "--pipelines",
+        help="corpus mode: comma-separated pipeline subset "
+        "(default: baseline,mlt-blas)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help="corpus mode: persistent cache directory "
+        "(default: results/kernel-cache)",
+    )
+    parser.add_argument(
+        "--heavy",
+        action="store_true",
+        help="corpus mode: compile the LARGE-size sources instead of "
+        "the small ones",
+    )
+    parser.add_argument(
+        "--execute-units",
+        action="store_true",
+        help="corpus mode: also execute each compiled kernel on "
+        "deterministic inputs (folds an output digest into the "
+        "determinism checksum)",
+    )
     args = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
+
+    if args.jobs is not None:
+        return _scale_study(args)
 
     if args.compile_time:
         return _compile_time_smoke(args.kernel)

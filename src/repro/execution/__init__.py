@@ -6,6 +6,7 @@ analytical machine/cost model (for the paper's performance studies).
 from .interpreter import InterpreterError, Interpreter, run_function  # noqa: F401
 from .engine import (  # noqa: F401
     CacheStats,
+    DiskKernelCache,
     EngineError,
     ExecutionEngine,
     KERNEL_CACHE,

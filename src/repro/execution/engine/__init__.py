@@ -11,12 +11,19 @@ Entry point is :class:`ExecutionEngine`, which exposes the same
 ``run(func_name, *args)`` contract as the interpreter.
 """
 
-from .cache import CacheStats, KernelCache, KERNEL_CACHE  # noqa: F401
+from .cache import (  # noqa: F401
+    CacheStats,
+    KernelCache,
+    KERNEL_CACHE,
+    fingerprint_module,
+)
 from .codegen import (  # noqa: F401
     EMITTERS,
     EngineError,
     CompiledModule,
     compile_module,
     generate_module_source,
+    load_compiled_source,
 )
+from .disk_cache import DiskKernelCache, default_disk_cache  # noqa: F401
 from .engine import ExecutionEngine, run_function_compiled  # noqa: F401

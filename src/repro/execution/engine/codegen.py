@@ -539,9 +539,12 @@ class CompiledModule:
     functions: Dict[str, Callable]
 
 
-def compile_module(module: ModuleOp, key: str = "") -> CompiledModule:
-    """Codegen + ``compile()`` one module into callable kernels."""
-    source = generate_module_source(module)
+def load_compiled_source(source: str, key: str = "") -> CompiledModule:
+    """``compile()`` + ``exec`` already-generated kernel source.
+
+    This is the disk-cache re-hydration path: no IR walk, no codegen —
+    the entry points are recovered from the generated ``_fn_*`` defs.
+    """
     namespace = {
         "_np": np,
         "_rt": runtime,
@@ -551,7 +554,13 @@ def compile_module(module: ModuleOp, key: str = "") -> CompiledModule:
     code = compile(source, f"<engine:{key[:12] or 'module'}>", "exec")
     exec(code, namespace)
     functions = {
-        func.sym_name: namespace[f"_fn_{func.sym_name}"]
-        for func in module.functions
+        name[len("_fn_"):]: fn
+        for name, fn in namespace.items()
+        if name.startswith("_fn_") and callable(fn)
     }
     return CompiledModule(key=key, source=source, functions=functions)
+
+
+def compile_module(module: ModuleOp, key: str = "") -> CompiledModule:
+    """Codegen + ``compile()`` one module into callable kernels."""
+    return load_compiled_source(generate_module_source(module), key)

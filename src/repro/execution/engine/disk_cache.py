@@ -1,0 +1,213 @@
+"""Disk-backed, content-addressed artifact cache (the persistent tier).
+
+The in-memory :class:`~.cache.KernelCache` dies with the process; this
+tier keys artifacts by the same SHA-256 content hash but stores them as
+files, so compiled kernels are shared across worker processes of the
+parallel driver and survive across sessions.
+
+Concurrency model (many processes, one directory, no daemon):
+
+* **Atomic writes** — artifacts are written to a private temp file in
+  the cache directory and published with :func:`os.replace`, so a
+  reader never observes a half-written artifact.  Racing writers for
+  the same key each publish a byte-identical artifact; last rename
+  wins and both are valid.
+* **Lock-free reads** — a read is a single ``open``; a missing or
+  corrupt file (truncated by a crashed writer on a non-POSIX
+  filesystem, pruned concurrently, …) is treated as a miss, never an
+  error.
+* **Bounded size with LRU pruning** — each read best-effort touches
+  the artifact's mtime, and writers prune oldest-mtime artifacts once
+  the directory exceeds ``max_bytes``.  Pruning races (two writers
+  deleting the same file) are benign.
+
+Two payload flavors share the machinery: *kernel* artifacts hold the
+generated Python source of a compiled module (re-hydrated with
+``exec``, skipping codegen entirely), and *text* artifacts hold
+arbitrary strings — the evaluation/batch drivers use them to persist
+printed post-pipeline IR so warm runs skip the C frontend and the
+raising pipeline too.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from typing import TYPE_CHECKING, Optional
+
+from .cache import CacheStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .codegen import CompiledModule
+
+ARTIFACT_SUFFIX = ".artifact.json"
+
+#: Default size bound: plenty for thousands of kernels (artifacts are a
+#: few KiB of generated source each) while keeping runaway fuzz
+#: campaigns from filling the disk.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+class DiskKernelCache:
+    """Content-addressed artifact files under one directory.
+
+    ``load``/``store`` move :class:`~.codegen.CompiledModule` payloads
+    (kernel source, re-``exec``-ed on load); ``load_text``/``store_text``
+    move plain strings.  Both are safe to call concurrently from any
+    number of processes pointed at the same directory.
+    """
+
+    def __init__(self, path: str, max_bytes: int = DEFAULT_MAX_BYTES):
+        if not path:
+            raise ValueError("disk cache needs a directory path")
+        self.path = os.path.abspath(path)
+        self.max_bytes = max_bytes
+        self.stats = CacheStats()
+        os.makedirs(self.path, exist_ok=True)
+
+    # -- paths ----------------------------------------------------------
+
+    def artifact_path(self, key: str) -> str:
+        return os.path.join(self.path, key + ARTIFACT_SUFFIX)
+
+    # -- generic payload I/O -------------------------------------------
+
+    def _read_payload(self, key: str) -> Optional[dict]:
+        try:
+            with open(self.artifact_path(key), "rb") as handle:
+                raw = handle.read()
+            payload = json.loads(raw.decode("utf-8"))
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        if not isinstance(payload, dict) or payload.get("key") != key:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self.stats.bytes_read += len(raw)
+        try:  # recency signal for LRU pruning; best-effort only
+            os.utime(self.artifact_path(key))
+        except OSError:
+            pass
+        return payload
+
+    def _write_payload(self, key: str, payload: dict) -> None:
+        raw = json.dumps(payload, sort_keys=True).encode("utf-8")
+        fd, tmp = tempfile.mkstemp(
+            prefix=".tmp-" + key[:12] + "-", dir=self.path
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(raw)
+            os.replace(tmp, self.artifact_path(key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.bytes_written += len(raw)
+        self._prune()
+
+    # -- kernel artifacts ----------------------------------------------
+
+    def load(self, key: str) -> Optional["CompiledModule"]:
+        """Re-hydrate a compiled kernel, or ``None`` on a miss."""
+        from .codegen import load_compiled_source
+
+        payload = self._read_payload(key)
+        if payload is None or "source" not in payload:
+            return None
+        try:
+            return load_compiled_source(payload["source"], key)
+        except Exception:
+            # An artifact that no longer execs (e.g. written by an
+            # incompatible engine version) is a miss, not a crash.
+            self.stats.hits -= 1
+            self.stats.misses += 1
+            return None
+
+    def store(self, key: str, compiled: "CompiledModule") -> None:
+        self._write_payload(
+            key,
+            {
+                "key": key,
+                "kind": "kernel",
+                "source": compiled.source,
+                "functions": sorted(compiled.functions),
+                "created": time.time(),
+            },
+        )
+
+    # -- text artifacts (printed IR, batch outputs) --------------------
+
+    def load_text(self, key: str) -> Optional[str]:
+        payload = self._read_payload(key)
+        if payload is None or "text" not in payload:
+            return None
+        return payload["text"]
+
+    def store_text(self, key: str, text: str) -> None:
+        self._write_payload(
+            key,
+            {"key": key, "kind": "text", "text": text, "created": time.time()},
+        )
+
+    # -- maintenance ----------------------------------------------------
+
+    def _entries(self):
+        """(mtime, size, path) for every artifact; racing deletions are
+        skipped."""
+        entries = []
+        try:
+            names = os.listdir(self.path)
+        except OSError:
+            return entries
+        for name in names:
+            if not name.endswith(ARTIFACT_SUFFIX):
+                continue
+            full = os.path.join(self.path, name)
+            try:
+                info = os.stat(full)
+            except OSError:
+                continue
+            entries.append((info.st_mtime, info.st_size, full))
+        return entries
+
+    def total_bytes(self) -> int:
+        return sum(size for _, size, _ in self._entries())
+
+    def _prune(self) -> None:
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return
+        for mtime, size, full in sorted(entries):
+            try:
+                os.unlink(full)
+            except OSError:
+                continue
+            self.stats.evictions += 1
+            total -= size
+            if total <= self.max_bytes:
+                break
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+
+def default_disk_cache() -> Optional[DiskKernelCache]:
+    """The process-default persistent tier, from ``MLT_CACHE_DIR``.
+
+    Unset (or empty) means no disk tier — unit tests and one-shot runs
+    stay hermetic unless they opt in.
+    """
+    path = os.environ.get("MLT_CACHE_DIR", "")
+    if not path:
+        return None
+    try:
+        return DiskKernelCache(path)
+    except OSError:
+        return None

@@ -38,6 +38,18 @@ class ModuleOp(Operation):
         self.body.append(func)
         return func
 
+    def bump_version(self) -> int:
+        """Advance the module's mutation counter.
+
+        The PassManager stamps this after every pass that (may have)
+        changed the module; the kernel cache memoizes the module's
+        printed-IR fingerprint on it so unchanged modules never
+        re-print to hash.  Code that mutates the IR directly — outside
+        any PassManager — must call this to invalidate the memo.
+        """
+        self.version = getattr(self, "version", 0) + 1
+        return self.version
+
     def verify_(self) -> None:
         if len(self.regions) != 1 or len(self.regions[0].blocks) != 1:
             raise IRError("builtin.module must have exactly one block")

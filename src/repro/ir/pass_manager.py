@@ -177,6 +177,7 @@ class PassManager:
             verify(module, self.context)
             self.verify_stats["full_verifies"] += 1
             self.module_version += 1
+            module.bump_version()
             return
         for func in touched:
             verify(func, self.context)
@@ -186,6 +187,7 @@ class PassManager:
         )
         if touched:
             self.module_version += 1
+            module.bump_version()
 
     def run(self, module: ModuleOp) -> PassTiming:
         if self.verify_each:
@@ -202,6 +204,7 @@ class PassManager:
                 self._verify_after(pass_, module)
             else:
                 self.module_version += 1
+                module.bump_version()
         return self.timing
 
     def pipeline_string(self) -> str:

@@ -1,0 +1,23 @@
+"""Parallel compilation runtime.
+
+Shards independent work units — benchmark kernels, fuzz seeds,
+per-file pass-pipeline runs — across a ``multiprocessing`` worker pool
+with deterministic, input-ordered result merging, and shares compiled
+artifacts between workers through the persistent disk tier of the
+kernel cache (see :mod:`repro.execution.engine.disk_cache`).
+
+Layout:
+
+* :mod:`.pool` — the generic pool driver (``parallel_map``) and the
+  deterministic seed-derivation helper shared by every surface;
+* :mod:`.fuzz` — seed-sharded fuzz campaigns (``mlt-fuzz --jobs N``);
+* :mod:`.batch` — multi-file ``mlt-opt`` batch compilation;
+* :mod:`.bench` — the benchmark-corpus driver behind
+  ``benchmarks.harness --jobs N`` and ``BENCH_scale.json``.
+"""
+
+from .pool import (  # noqa: F401
+    parallel_map,
+    resolve_jobs,
+    seed_for_unit,
+)

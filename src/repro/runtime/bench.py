@@ -1,0 +1,266 @@
+"""Benchmark-corpus scale driver: ``benchmarks.harness --jobs N``.
+
+One work unit = one (kernel, pipeline) pair of the paper's 16-kernel
+corpus: build the module through the pass pipeline, codegen it through
+the tiered kernel cache, and execute it once on deterministic inputs
+to record a checksum.  Units shard across the worker pool and merge in
+input order; the per-unit checksums make run-to-run determinism
+checkable (serial, parallel, cold and warm runs must all agree).
+
+The scale *study* (:func:`run_scale_study`) measures the corpus
+wall-clock along both axes this PR ships:
+
+* **worker count** — a cold run at ``--jobs 1`` vs a cold run at
+  ``--jobs N`` (fresh cache both times);
+* **cache warmth** — the same corpus re-run against the now-populated
+  persistent cache, where every unit re-hydrates its compiled kernel
+  from disk (zero codegen invocations) and its post-pipeline IR from
+  the module cache (no C frontend, no raising pipeline).
+
+Results go to ``benchmarks/results/BENCH_scale.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .batch import module_cache_key
+from .pool import parallel_map
+
+_WORKER_STATE: Optional[dict] = None
+
+#: Pipelines a corpus unit is measured under by default.
+DEFAULT_PIPELINES = ("baseline", "mlt-blas")
+
+
+def _init_worker(config: dict) -> None:
+    global _WORKER_STATE
+    from ..execution.engine.disk_cache import DiskKernelCache
+
+    state = dict(config)
+    cache_dir = config.get("cache_dir")
+    if cache_dir:
+        state["module_cache"] = DiskKernelCache(
+            os.path.join(cache_dir, "modules")
+        )
+        state["kernel_cache_dir"] = os.path.join(cache_dir, "kernels")
+    else:
+        state["module_cache"] = None
+        state["kernel_cache_dir"] = None
+    _WORKER_STATE = state
+
+
+def _run_unit(unit: Tuple[str, str]) -> Dict:
+    import hashlib
+
+    kernel_name, pipeline = unit
+    state = _WORKER_STATE
+    from ..evaluation import get_kernel
+    from ..evaluation.pipelines import build_module
+    from ..execution.engine.cache import KernelCache
+    from ..execution.engine.codegen import compile_module
+    from ..ir import print_module
+
+    start = time.perf_counter()
+    spec = get_kernel(kernel_name)
+    source = spec.large() if state["heavy"] else spec.small()
+    tile = state["tile"]
+
+    # Tier A: the module cache maps (C source, pipeline, tile) to the
+    # printed post-pipeline IR.  A hit skips the frontend and every
+    # pass; the unit then never materializes IR objects at all unless
+    # it also executes.
+    module_cache = state["module_cache"]
+    mkey = module_cache_key(source, [pipeline], f"tile={tile}")
+    text = module_cache.load_text(mkey) if module_cache is not None else None
+    module_cache_hit = text is not None
+    module = None
+    if text is None:
+        module = build_module(source, pipeline, tile=tile)
+        text = print_module(module)
+        if module_cache is not None:
+            module_cache.store_text(mkey, text)
+
+    # Tier B: the kernel cache maps the printed IR to the compiled
+    # kernel.  The key is hashed straight from the text we already
+    # hold — no reprint, and on a warm hit no reparse either.
+    cache = KernelCache()
+    if state["kernel_cache_dir"]:
+        cache.attach_disk(state["kernel_cache_dir"])
+    key = KernelCache.key_for_text(
+        hashlib.sha256(text.encode("utf-8")).hexdigest(), pipeline
+    )
+
+    def build_kernel(k: str):
+        from ..ir.parser import parse_module
+
+        built = parse_module(text) if module is None else module
+        return compile_module(built, k)
+
+    compiled = cache.get_or_compile_key(key, build_kernel)
+    # Compilation determinism digest: cold, warm, serial and parallel
+    # runs must produce byte-identical kernel source for each unit.
+    checksum = hashlib.sha256(
+        compiled.source.encode("utf-8")
+    ).hexdigest()
+
+    if state["execute"]:
+        from ..fuzzing.oracle import make_args, module_arg_shapes
+        from ..ir.parser import parse_module
+
+        if module is None:
+            module = parse_module(text)
+        args = make_args(
+            module_arg_shapes(module, spec.func_name), state["seed"]
+        )
+        compiled.functions[spec.func_name](*args)
+        digest = sum(float(buf.sum()) for buf in args)
+        checksum = f"{checksum}:{digest:.6f}"
+
+    snapshot = cache.snapshot()
+    return {
+        "kernel": kernel_name,
+        "pipeline": pipeline,
+        "wall_time_s": time.perf_counter() - start,
+        "codegen_count": snapshot["memory"]["codegen_count"],
+        "module_cache_hit": module_cache_hit,
+        "checksum": checksum,
+    }
+
+
+def run_corpus(
+    kernel_names: Sequence[str],
+    pipelines: Sequence[str] = DEFAULT_PIPELINES,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    tile: int = 32,
+    execute: bool = False,
+    heavy: bool = False,
+    seed: int = 0,
+) -> Dict:
+    """One sharded pass over the corpus; returns an aggregate row."""
+    units = [
+        (kernel, pipeline)
+        for kernel in kernel_names
+        for pipeline in pipelines
+    ]
+    config = {
+        "cache_dir": cache_dir,
+        "tile": tile,
+        "execute": execute,
+        "heavy": heavy,
+        "seed": seed,
+    }
+    start = time.perf_counter()
+    unit_rows = parallel_map(
+        _run_unit,
+        units,
+        jobs=jobs,
+        initializer=_init_worker,
+        initargs=(config,),
+    )
+    wall = time.perf_counter() - start
+    return {
+        "jobs": jobs,
+        "wall_time_s": wall,
+        "units": len(unit_rows),
+        "codegen_count": sum(r["codegen_count"] for r in unit_rows),
+        "module_cache_hits": sum(
+            1 for r in unit_rows if r["module_cache_hit"]
+        ),
+        "unit_rows": unit_rows,
+    }
+
+
+def run_scale_study(
+    jobs: int,
+    kernel_names: Sequence[str],
+    pipelines: Sequence[str] = DEFAULT_PIPELINES,
+    cache_dir: Optional[str] = None,
+    tile: int = 32,
+    heavy: bool = False,
+    execute: bool = False,
+    seed: int = 0,
+) -> Dict:
+    """Measure the corpus across worker counts and cache warmth.
+
+    Sequence (cache wiped before each *cold* run):
+
+    1. cold, ``jobs=1``   — the serial baseline;
+    2. cold, ``jobs=N``   — parallel speedup (when N > 1);
+    3. warm, ``jobs=1``   — persistent-cache speedup, zero codegen;
+    4. warm, ``jobs=N``   — both levers combined (when N > 1).
+
+    Checksums must agree across all runs — a parallel or cache-served
+    result that differs from the serial cold run is a hard error.
+    """
+
+    def wipe() -> None:
+        if cache_dir and os.path.isdir(cache_dir):
+            shutil.rmtree(cache_dir)
+
+    plan = [("cold", 1)]
+    if jobs > 1:
+        plan.append(("cold", jobs))
+    plan.append(("warm", 1))
+    if jobs > 1:
+        plan.append(("warm", jobs))
+
+    rows: List[Dict] = []
+    reference: Optional[List] = None
+    for cache_state, run_jobs in plan:
+        if cache_state == "cold":
+            wipe()
+        row = run_corpus(
+            kernel_names,
+            pipelines,
+            jobs=run_jobs,
+            cache_dir=cache_dir,
+            tile=tile,
+            execute=execute,
+            heavy=heavy,
+            seed=seed,
+        )
+        row["cache"] = cache_state
+        checksums = [
+            (u["kernel"], u["pipeline"], u["checksum"])
+            for u in row["unit_rows"]
+        ]
+        if reference is None:
+            reference = checksums
+        elif checksums != reference:
+            raise AssertionError(
+                f"scale study: jobs={run_jobs} {cache_state} run produced "
+                "different checksums than the serial cold run"
+            )
+        rows.append(row)
+    by_key = {(r["cache"], r["jobs"]): r["wall_time_s"] for r in rows}
+    serial_cold = by_key[("cold", 1)]
+    best = min(by_key.values())
+    summary = {
+        "jobs": jobs,
+        "kernels": list(kernel_names),
+        "pipelines": list(pipelines),
+        "speedup": serial_cold / best if best > 0 else float("inf"),
+        "warm_speedup": serial_cold / by_key[("warm", 1)]
+        if by_key[("warm", 1)] > 0
+        else float("inf"),
+        "parallel_speedup": (
+            serial_cold / by_key[("cold", jobs)]
+            if jobs > 1 and by_key.get(("cold", jobs))
+            else None
+        ),
+        "warm_codegen_count": rows[
+            [i for i, r in enumerate(rows) if r["cache"] == "warm"][0]
+        ]["codegen_count"],
+    }
+    if cache_dir and summary["warm_codegen_count"]:
+        raise AssertionError(
+            "scale study: warm run performed "
+            f"{summary['warm_codegen_count']} codegen invocations; "
+            "every kernel should have come off the persistent cache"
+        )
+    return {"rows": rows, "summary": summary}

@@ -124,7 +124,40 @@ def main(argv: List[str] = None) -> int:
         prog="mlt-opt",
         description="Multi-Level Tactics optimizer driver",
     )
-    parser.add_argument("input", help="input file (.c or .mlir), or -")
+    parser.add_argument(
+        "input",
+        nargs="+",
+        help="input file(s) (.c or .mlir), or -; more than one input "
+        "switches to batch mode (see --jobs/--out-dir)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="batch mode: worker processes (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--out-dir",
+        help="batch mode: write each result as <stem>.mlir here "
+        "(default: print nothing, just compile)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help="persistent compilation cache directory shared across "
+        "processes and sessions (kernel + module artifacts)",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print kernel-cache statistics (memory + disk tiers) to "
+        "stderr after the run",
+    )
+    parser.add_argument(
+        "--compile",
+        action="store_true",
+        help="batch mode: also codegen each module through the shared "
+        "kernel cache (warms --cache-dir for later --execute runs)",
+    )
     parser.add_argument(
         "--source",
         choices=["auto", "c", "ir"],
@@ -175,10 +208,18 @@ def main(argv: List[str] = None) -> int:
     )
     args = parser.parse_args(rest)
 
+    if len(args.input) > 1:
+        return _batch_main(args, pass_names)
+
+    if args.cache_dir:
+        from .execution import KERNEL_CACHE
+
+        KERNEL_CACHE.attach_disk(args.cache_dir)
+
     try:
-        module = load_input(args.input, args.source)
-    except (CSyntaxError, CLexError, ParseError) as exc:
-        sys.stderr.write(f"mlt-opt: {args.input}: {exc}\n")
+        module = load_input(args.input[0], args.source)
+    except (CSyntaxError, CLexError, ParseError, OSError) as exc:
+        sys.stderr.write(f"mlt-opt: {args.input[0]}: {exc}\n")
         return 1
     from .ir import set_default_driver
 
@@ -214,7 +255,69 @@ def main(argv: List[str] = None) -> int:
         except Exception as exc:
             sys.stderr.write(f"mlt-opt: --execute: {exc}\n")
             return 1
+    if args.cache_stats:
+        _print_cache_stats()
     return 0
+
+
+def _print_cache_stats() -> None:
+    import json
+
+    from .execution import KERNEL_CACHE
+
+    sys.stderr.write(
+        "mlt-opt: kernel cache: "
+        + json.dumps(KERNEL_CACHE.snapshot(), sort_keys=True)
+        + "\n"
+    )
+
+
+def _batch_main(args, pass_names: List[str]) -> int:
+    """Batch mode: many inputs, one shared pool and persistent cache."""
+    if args.execute or args.estimate:
+        sys.stderr.write(
+            "mlt-opt: --execute/--estimate are single-input options\n"
+        )
+        return 2
+    from .runtime.batch import run_batch
+
+    results = run_batch(
+        args.input,
+        pass_names,
+        out_dir=args.out_dir,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        driver=args.driver,
+        source_kind=args.source,
+        verify=not args.no_verify,
+        compile_kernels=args.compile or bool(args.cache_dir),
+    )
+    failed = 0
+    for result in results:
+        status = "ok" if result.ok else "FAIL"
+        detail = result.detail
+        sys.stderr.write(
+            f"mlt-opt: {result.input_path}: {status} "
+            f"({result.seconds * 1e3:.1f} ms, {detail})\n"
+        )
+        failed += 0 if result.ok else 1
+    if args.cache_stats:
+        merged = {"memory": None, "disk": None}
+        snapshots = [r.cache_snapshot for r in results if r.cache_snapshot]
+        for tier in ("memory", "disk"):
+            tiers = [s[tier] for s in snapshots if s.get(tier)]
+            if tiers:
+                merged[tier] = {
+                    key: sum(t[key] for t in tiers) for key in tiers[0]
+                }
+        import json
+
+        sys.stderr.write(
+            "mlt-opt: kernel cache (batch, summed over units): "
+            + json.dumps(merged, sort_keys=True)
+            + "\n"
+        )
+    return 1 if failed else 0
 
 
 def _execute_module(
@@ -261,6 +364,14 @@ def fuzz_main(argv: List[str] = None) -> int:
     )
     parser.add_argument(
         "--seeds", type=int, default=50, help="number of seeds to run"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the seed range (0 = one per CPU); "
+        "per-seed verdicts and artifacts are byte-identical to a "
+        "serial run",
     )
     parser.add_argument(
         "--start-seed", type=int, default=0, help="first seed of the range"
@@ -318,16 +429,17 @@ def fuzz_main(argv: List[str] = None) -> int:
     args = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
 
     pipelines = args.pipelines.split(",") if args.pipelines else None
+    campaign_config = dict(
+        out_dir=args.out,
+        pipelines=pipelines,
+        rtol=args.rtol,
+        check_modules=not args.no_modules,
+        write_artifacts=not args.no_artifacts,
+        check_engine=not args.no_engine_diff,
+        check_drivers=not args.no_driver_diff,
+    )
     try:
-        campaign = FuzzCampaign(
-            out_dir=args.out,
-            pipelines=pipelines,
-            rtol=args.rtol,
-            check_modules=not args.no_modules,
-            write_artifacts=not args.no_artifacts,
-            check_engine=not args.no_engine_diff,
-            check_drivers=not args.no_driver_diff,
-        )
+        campaign = FuzzCampaign(**campaign_config)
     except ValueError as exc:
         parser.error(str(exc))
 
@@ -351,9 +463,31 @@ def fuzz_main(argv: List[str] = None) -> int:
     if args.smoke:
         num_seeds = min(num_seeds, 30)
         time_limit = 60.0 if time_limit is None else min(time_limit, 60.0)
-    stats = campaign.run(
-        num_seeds, start_seed=args.start_seed, time_limit=time_limit
-    )
+    if args.jobs != 1:
+        from .runtime.fuzz import run_campaign_parallel
+
+        stats = run_campaign_parallel(
+            campaign_config,
+            num_seeds,
+            start_seed=args.start_seed,
+            jobs=args.jobs,
+            time_limit=time_limit,
+        )
+    else:
+        stats = campaign.run(
+            num_seeds, start_seed=args.start_seed, time_limit=time_limit
+        )
+    if not args.no_artifacts:
+        from .runtime.fuzz import write_campaign_metadata
+        from .runtime.pool import resolve_jobs
+
+        write_campaign_metadata(
+            args.out,
+            resolve_jobs(args.jobs),
+            num_seeds,
+            args.start_seed,
+            stats,
+        )
     sys.stderr.write(stats.summary() + "\n")
     return 0 if stats.ok else 1
 

@@ -1,0 +1,373 @@
+"""Tests for the persistent cache tier and the tiered KernelCache.
+
+Covers the disk artifact format (atomic writes, corrupt-file handling,
+size-bounded pruning), the memory tier's LRU discipline and traffic
+stats, fingerprint memoization, and — the critical property for the
+parallel driver — many processes racing ``get_or_compile`` on the same
+key without corruption.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.execution import ExecutionEngine, KernelCache
+from repro.execution.engine import compile_module, fingerprint_module
+from repro.execution.engine.disk_cache import (
+    ARTIFACT_SUFFIX,
+    DiskKernelCache,
+    default_disk_cache,
+)
+from repro.met import compile_c
+
+GEMM = """
+void gemm(float A[8][6], float B[6][7], float C[8][7]) {
+  for (int i = 0; i < 8; i++)
+    for (int j = 0; j < 7; j++)
+      for (int k = 0; k < 6; k++)
+        C[i][j] += A[i][k] * B[k][j];
+}
+"""
+
+STENCIL = """
+void stencil(float A[10], float B[10]) {
+  for (int i = 1; i < 9; i++)
+    B[i] = A[i - 1] + A[i] + A[i + 1];
+}
+"""
+
+SAXPY = """
+void saxpy(float x[16], float y[16]) {
+  for (int i = 0; i < 16; i++)
+    y[i] = y[i] + 2.0f * x[i];
+}
+"""
+
+
+def _compiled_gemm():
+    module = compile_c(GEMM)
+    key = KernelCache.key_for(module, "p")
+    return key, compile_module(module, key)
+
+
+class TestDiskRoundTrip:
+    def test_store_load_roundtrip(self, tmp_path):
+        disk = DiskKernelCache(str(tmp_path))
+        key, compiled = _compiled_gemm()
+        disk.store(key, compiled)
+        loaded = disk.load(key)
+        assert loaded is not None
+        assert loaded.source == compiled.source
+        assert set(loaded.functions) == set(compiled.functions)
+
+    def test_loaded_kernel_is_runnable(self, tmp_path):
+        import numpy as np
+
+        disk = DiskKernelCache(str(tmp_path))
+        key, compiled = _compiled_gemm()
+        disk.store(key, compiled)
+        loaded = disk.load(key)
+        a = np.ones((8, 6), dtype=np.float32)
+        b = np.ones((6, 7), dtype=np.float32)
+        c = np.zeros((8, 7), dtype=np.float32)
+        loaded.functions["gemm"](a, b, c)
+        np.testing.assert_allclose(c, 6.0)
+
+    def test_missing_key_is_miss(self, tmp_path):
+        disk = DiskKernelCache(str(tmp_path))
+        assert disk.load("0" * 64) is None
+        assert disk.stats.misses == 1
+        assert disk.stats.hits == 0
+
+    def test_text_roundtrip(self, tmp_path):
+        disk = DiskKernelCache(str(tmp_path))
+        disk.store_text("a" * 64, "module {\n}\n")
+        assert disk.load_text("a" * 64) == "module {\n}\n"
+        assert disk.load_text("b" * 64) is None
+
+    def test_kernel_and_text_payloads_do_not_cross(self, tmp_path):
+        disk = DiskKernelCache(str(tmp_path))
+        disk.store_text("c" * 64, "not a kernel")
+        assert disk.load("c" * 64) is None
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        disk = DiskKernelCache(str(tmp_path))
+        key, compiled = _compiled_gemm()
+        for _ in range(5):
+            disk.store(key, compiled)
+        names = os.listdir(tmp_path)
+        assert names == [key + ARTIFACT_SUFFIX]
+
+
+class TestCorruptArtifacts:
+    def test_truncated_artifact_is_miss(self, tmp_path):
+        disk = DiskKernelCache(str(tmp_path))
+        key, compiled = _compiled_gemm()
+        disk.store(key, compiled)
+        path = disk.artifact_path(key)
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(raw[: len(raw) // 2])
+        assert disk.load(key) is None
+
+    def test_wrong_key_in_payload_is_miss(self, tmp_path):
+        disk = DiskKernelCache(str(tmp_path))
+        key, compiled = _compiled_gemm()
+        disk.store(key, compiled)
+        other = "f" * 64
+        os.rename(disk.artifact_path(key), disk.artifact_path(other))
+        assert disk.load(other) is None
+
+    def test_unexecutable_source_is_miss(self, tmp_path):
+        disk = DiskKernelCache(str(tmp_path))
+        key = "d" * 64
+        payload = {
+            "key": key,
+            "kind": "kernel",
+            "source": "def _fn_x(:\n",  # syntax error
+            "functions": ["x"],
+        }
+        with open(disk.artifact_path(key), "w") as handle:
+            json.dump(payload, handle)
+        assert disk.load(key) is None
+        assert disk.stats.hits == 0
+        assert disk.stats.misses == 1
+
+
+class TestPruning:
+    def test_prunes_oldest_to_stay_under_max_bytes(self, tmp_path):
+        disk = DiskKernelCache(str(tmp_path))
+        disk.store_text("a" * 64, "x" * 100)
+        # Bound the cache to one artifact; a second, same-size write
+        # must push the older artifact out.
+        disk.max_bytes = disk.total_bytes() + 1
+        os.utime(disk.artifact_path("a" * 64), (1, 1))
+        disk.store_text("b" * 64, "y" * 100)
+        assert disk.load_text("a" * 64) is None
+        assert disk.load_text("b" * 64) == "y" * 100
+        assert disk.stats.evictions >= 1
+
+    def test_read_refreshes_recency(self, tmp_path):
+        disk = DiskKernelCache(str(tmp_path))
+        disk.store_text("a" * 64, "x" * 100)
+        disk.store_text("b" * 64, "y" * 100)
+        # Room for exactly two artifacts.
+        disk.max_bytes = disk.total_bytes() + 1
+        os.utime(disk.artifact_path("a" * 64), (1, 1))
+        os.utime(disk.artifact_path("b" * 64), (2, 2))
+        # Touch "a": its mtime refresh must protect it from pruning —
+        # FIFO order would keep "b" instead.
+        assert disk.load_text("a" * 64) == "x" * 100
+        disk.store_text("c" * 64, "z" * 100)
+        assert disk.load_text("a" * 64) == "x" * 100
+        assert disk.load_text("b" * 64) is None
+        assert disk.load_text("c" * 64) == "z" * 100
+
+    def test_total_bytes_counts_artifacts(self, tmp_path):
+        disk = DiskKernelCache(str(tmp_path))
+        assert disk.total_bytes() == 0
+        disk.store_text("a" * 64, "hello")
+        assert disk.total_bytes() > 0
+        assert len(disk) == 1
+
+
+class TestTieredCache:
+    def test_memory_miss_falls_through_to_disk(self, tmp_path):
+        first = KernelCache()
+        first.attach_disk(str(tmp_path))
+        module = compile_c(GEMM)
+        ExecutionEngine(module, pipeline="p", cache=first)
+        assert first.stats.codegen_count == 1
+
+        # Fresh memory tier, same directory: warm start, zero codegen.
+        second = KernelCache()
+        second.attach_disk(str(tmp_path))
+        ExecutionEngine(compile_c(GEMM), pipeline="p", cache=second)
+        assert second.stats.codegen_count == 0
+        assert second.disk.stats.hits == 1
+
+    def test_full_miss_populates_both_tiers(self, tmp_path):
+        cache = KernelCache()
+        cache.attach_disk(str(tmp_path))
+        module = compile_c(STENCIL)
+        ExecutionEngine(module, pipeline="p", cache=cache)
+        assert len(cache) == 1
+        assert len(cache.disk) == 1
+        assert cache.stats.bytes_written > 0
+        assert cache.disk.stats.bytes_written > 0
+
+    def test_snapshot_reports_both_tiers(self, tmp_path):
+        cache = KernelCache()
+        cache.attach_disk(str(tmp_path))
+        ExecutionEngine(compile_c(GEMM), cache=cache)
+        snap = cache.snapshot()
+        assert snap["memory"]["codegen_count"] == 1
+        assert snap["disk"]["bytes_written"] > 0
+        assert set(snap["memory"]) == {
+            "hits",
+            "misses",
+            "codegen_count",
+            "evictions",
+            "bytes_written",
+            "bytes_read",
+        }
+
+    def test_snapshot_without_disk_tier(self):
+        assert KernelCache().snapshot()["disk"] is None
+
+    def test_default_disk_cache_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("MLT_CACHE_DIR", str(tmp_path / "env-cache"))
+        disk = default_disk_cache()
+        assert disk is not None
+        assert disk.path == str(tmp_path / "env-cache")
+        monkeypatch.setenv("MLT_CACHE_DIR", "")
+        assert default_disk_cache() is None
+
+
+class TestMemoryLRU:
+    def test_get_refreshes_recency_not_fifo(self):
+        """FIFO would evict A (oldest insert); LRU must evict B."""
+        cache = KernelCache(max_entries=2)
+        cache.put("A", object())
+        cache.put("B", object())
+        assert cache.get("A") is not None  # A is now most recent
+        cache.put("C", object())
+        assert cache.get("A") is not None
+        assert cache.get("B") is None
+        assert cache.stats.evictions == 1
+
+    def test_traffic_stats(self):
+        cache = KernelCache()
+        module = compile_c(SAXPY)
+        ExecutionEngine(module, pipeline="p", cache=cache)
+        written = cache.stats.bytes_written
+        assert written > 0
+        assert cache.stats.bytes_read == 0
+        ExecutionEngine(module, pipeline="p", cache=cache)
+        assert cache.stats.bytes_read == written
+        assert cache.stats.bytes_written == written
+
+
+class TestFingerprintMemo:
+    def test_memoized_on_version(self, monkeypatch):
+        import repro.execution.engine.cache as cache_mod
+
+        module = compile_c(GEMM)
+        module.bump_version()
+        calls = []
+        real_print = cache_mod.print_module
+
+        def counting_print(m):
+            calls.append(m)
+            return real_print(m)
+
+        monkeypatch.setattr(cache_mod, "print_module", counting_print)
+        first = fingerprint_module(module)
+        second = fingerprint_module(module)
+        assert first == second
+        assert len(calls) == 1
+
+    def test_bump_version_invalidates(self):
+        module = compile_c(GEMM)
+        module.bump_version()
+        first = fingerprint_module(module)
+        module.bump_version()
+        # Memo discarded: same bytes, same digest, but re-computed.
+        assert module._fingerprint_memo[0] == module.version - 1
+        assert fingerprint_module(module) == first
+        assert module._fingerprint_memo[0] == module.version
+
+    def test_unversioned_module_always_reprints(self, monkeypatch):
+        import repro.execution.engine.cache as cache_mod
+
+        module = compile_c(GEMM)
+        assert getattr(module, "version", None) is None
+        calls = []
+        real_print = cache_mod.print_module
+
+        def counting_print(m):
+            calls.append(m)
+            return real_print(m)
+
+        monkeypatch.setattr(cache_mod, "print_module", counting_print)
+        fingerprint_module(module)
+        fingerprint_module(module)
+        assert len(calls) == 2
+
+    def test_pass_manager_bumps_version(self):
+        from repro.ir import Context, LambdaPass, PassManager
+
+        module = compile_c(GEMM)
+        pm = PassManager(Context())
+        pm.add(LambdaPass("noop", lambda m, c: None))
+        pm.run(module)
+        assert getattr(module, "version", 0) >= 1
+
+
+# ----------------------------------------------------------------------
+# Cross-process race: N workers, one key, one artifact
+# ----------------------------------------------------------------------
+
+
+def _race_worker(args):
+    """Runs in a separate process: compile GEMM through a shared disk
+    cache directory and report what happened."""
+    cache_dir, worker_id = args
+    from repro.execution import KernelCache
+    from repro.execution.engine import compile_module
+    from repro.met import compile_c
+
+    cache = KernelCache()
+    cache.attach_disk(cache_dir)
+    module = compile_c(GEMM)
+    key = KernelCache.key_for(module, "race")
+    compiled = cache.get_or_compile_key(
+        key, lambda k: compile_module(module, k)
+    )
+    import hashlib
+
+    return (
+        worker_id,
+        key,
+        hashlib.sha256(compiled.source.encode("utf-8")).hexdigest(),
+    )
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="requires fork start method",
+)
+def test_concurrent_get_or_compile_single_artifact(tmp_path):
+    """N processes racing the same key: exactly one artifact file on
+    disk afterwards, every process got a byte-identical kernel, and a
+    subsequent cold-memory load sees a valid (uncorrupted) artifact."""
+    jobs = 4
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(jobs) as pool:
+        results = pool.map(
+            _race_worker, [(str(tmp_path), i) for i in range(jobs)]
+        )
+    keys = {key for _, key, _ in results}
+    digests = {digest for _, _, digest in results}
+    assert len(keys) == 1
+    assert len(digests) == 1
+
+    (key,) = keys
+    artifacts = [
+        n for n in os.listdir(tmp_path) if n.endswith(ARTIFACT_SUFFIX)
+    ]
+    assert artifacts == [key + ARTIFACT_SUFFIX]
+    assert not [n for n in os.listdir(tmp_path) if n.startswith(".tmp-")]
+
+    # The published artifact is valid: a fresh process-like cold load
+    # re-hydrates without codegen.
+    cold = KernelCache()
+    cold.attach_disk(str(tmp_path))
+    loaded = cold.get_or_compile_key(
+        key, lambda k: pytest.fail("warm load must not invoke codegen")
+    )
+    assert loaded.source is not None
+    assert cold.stats.codegen_count == 0

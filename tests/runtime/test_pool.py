@@ -1,0 +1,99 @@
+"""Tests for the deterministic parallel-map driver."""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.runtime import parallel_map, resolve_jobs, seed_for_unit
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+_INIT_VALUE = None
+
+
+def _square(x):
+    return x * x
+
+
+def _tag_with_init(x):
+    return (x, _INIT_VALUE)
+
+
+def _set_init(value):
+    global _INIT_VALUE
+    _INIT_VALUE = value
+
+
+def _pid_of(_):
+    return os.getpid()
+
+
+class TestSerialPath:
+    def test_jobs_one_is_inline(self):
+        # The serial path runs in-process: the unit function sees the
+        # calling process's globals and no child is ever forked.
+        assert parallel_map(_pid_of, [0, 1], jobs=1) == [
+            os.getpid(),
+            os.getpid(),
+        ]
+
+    def test_initializer_runs_inline(self):
+        global _INIT_VALUE
+        _INIT_VALUE = None
+        out = parallel_map(
+            _tag_with_init,
+            [1, 2],
+            jobs=1,
+            initializer=_set_init,
+            initargs=("marker",),
+        )
+        assert out == [(1, "marker"), (2, "marker")]
+
+    def test_jobs_clamped_to_item_count(self):
+        # One item never builds a pool, whatever --jobs says.
+        assert parallel_map(_pid_of, [0], jobs=8) == [os.getpid()]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="requires fork start method")
+class TestParallelPath:
+    def test_results_in_input_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, jobs=2) == [
+            x * x for x in items
+        ]
+
+    def test_initializer_reaches_workers(self):
+        out = parallel_map(
+            _tag_with_init,
+            [1, 2, 3, 4],
+            jobs=2,
+            initializer=_set_init,
+            initargs=("worker",),
+        )
+        assert out == [(x, "worker") for x in (1, 2, 3, 4)]
+
+    def test_serial_and_parallel_agree(self):
+        items = list(range(9))
+        assert parallel_map(_square, items, jobs=1) == parallel_map(
+            _square, items, jobs=3
+        )
+
+
+class TestHelpers:
+    def test_resolve_jobs(self):
+        assert resolve_jobs(5) == 5
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) == resolve_jobs(None)
+        assert resolve_jobs(-1) == resolve_jobs(None)
+
+    def test_seed_for_unit_is_stable_and_disjoint(self):
+        seeds = [seed_for_unit(100, i) for i in range(10)]
+        assert seeds == list(range(100, 110))
+        # Same (campaign, index) always maps to the same seed — the
+        # property that lets --jobs N replay serial failures.
+        assert seed_for_unit(100, 3) == seeds[3]
