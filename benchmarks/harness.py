@@ -100,18 +100,22 @@ def run_measured(
 ):
     """Execute one function on deterministic random inputs.
 
-    Returns ``(wall_time_s, checksum, buffers)``.  For the compiled
-    engine, construction (codegen or cache hit) happens outside the
-    timed region — the measurement is steady-state kernel execution,
-    the quantity Figure 9 reports.
+    Returns ``(wall_time_s, checksum, buffers, vectorize_stats)``.  For
+    the compiled engine, construction (codegen or cache hit) happens
+    outside the timed region — the measurement is steady-state kernel
+    execution, the quantity Figure 9 reports — and ``vectorize_stats``
+    carries the vectorizer's codegen decisions (``None`` for the
+    interpreter, which has no vectorizer).
     """
     from repro.fuzzing.oracle import make_args, module_arg_shapes
 
     args = make_args(module_arg_shapes(module, func_name), seed)
+    vectorize_stats = None
     if engine == "compiled":
         from repro.execution import ExecutionEngine
 
         runner = ExecutionEngine(module, pipeline=pipeline)
+        vectorize_stats = runner.vectorize_stats
     elif engine == "interpret":
         from repro.execution import Interpreter
 
@@ -121,7 +125,7 @@ def run_measured(
     start = time.perf_counter()
     runner.run(func_name, *args)
     wall = time.perf_counter() - start
-    return wall, checksum(args), args
+    return wall, checksum(args), args, vectorize_stats
 
 
 def measure_pipelines(
@@ -151,20 +155,21 @@ def measure_pipelines(
         module = build_module(source, pipeline, tile=tile)
         outputs = {}
         for engine in engines:
-            wall, digest, buffers = run_measured(
+            wall, digest, buffers, vec_stats = run_measured(
                 module, func_name, engine, pipeline=pipeline, seed=seed
             )
             outputs[engine] = buffers
-            rows.append(
-                {
-                    "benchmark": benchmark,
-                    "kernel": kernel,
-                    "pipeline": pipeline,
-                    "engine": engine,
-                    "wall_time_s": wall,
-                    "checksum": digest,
-                }
-            )
+            row = {
+                "benchmark": benchmark,
+                "kernel": kernel,
+                "pipeline": pipeline,
+                "engine": engine,
+                "wall_time_s": wall,
+                "checksum": digest,
+            }
+            if vec_stats is not None:
+                row["vectorize_stats"] = vec_stats
+            rows.append(row)
         if len(outputs) > 1:
             reference = outputs[engines[0]]
             for engine in engines[1:]:
@@ -212,6 +217,26 @@ def _compile_time_smoke(kernel: str) -> int:
         "drivers produce byte-identical IR; worklist speedup "
         f"{summary['speedup_worklist_vs_snapshot']:.3f}x"
     )
+    return 0
+
+
+def _vectorize_smoke() -> int:
+    """Bench-smoke for the whole-nest vectorizer: time every vectorize
+    mode plus the raised BLAS pipeline, assert the >=5x whole-nest
+    payoff, report to BENCH_vectorize.json."""
+    # Imported lazily: the bench module imports this harness.
+    from .bench_vectorize import (
+        check_vectorize_rows,
+        collect_vectorize_rows,
+        write_vectorize_report,
+    )
+
+    rows = collect_vectorize_rows()
+    json_path, _ = write_vectorize_report(rows)  # report() already prints
+    print(f"wrote {json_path}")
+    check_vectorize_rows(rows)
+    print("every mode agrees with the interpreter; whole-nest >= 5x "
+          "innermost on gemm and 2mm")
     return 0
 
 
@@ -304,6 +329,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "write results/BENCH_sec5b.json",
     )
     parser.add_argument(
+        "--vectorize",
+        action="store_true",
+        help="instead of the engine comparison, ablate the compiled "
+        "engine's vectorize modes (none/innermost/nest) against the "
+        "raised BLAS pipeline and write results/BENCH_vectorize.json",
+    )
+    parser.add_argument(
         "--kernel",
         default="gemm",
         help="paper benchmark name (default: gemm)",
@@ -358,6 +390,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.compile_time:
         return _compile_time_smoke(args.kernel)
+
+    if args.vectorize:
+        return _vectorize_smoke()
 
     from repro.evaluation import get_kernel
 

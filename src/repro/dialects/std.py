@@ -109,6 +109,62 @@ class MaxFOp(FloatArithOp):
 
 
 @register_op
+class NegFOp(Operation):
+    """Floating-point negation: ``%r = std.negf %a : f32``."""
+
+    OP_NAME = "std.negf"
+    PYTHON_FUNC = staticmethod(lambda a: -a)
+
+    @staticmethod
+    def create(value: Value) -> "NegFOp":
+        if not is_float(value.type):
+            raise IRError("std.negf requires a float operand")
+        return NegFOp(operands=[value], result_types=[value.type])
+
+    def verify_(self) -> None:
+        if self.num_operands != 1 or self.num_results != 1:
+            raise IRError(f"{self.name}: expects 1 operand and 1 result")
+        if not is_float(self.operand(0).type):
+            raise IRError(f"{self.name}: requires a float operand")
+
+
+@register_op
+class CmpFOp(Operation):
+    """Float comparison (ordered predicates only); predicate attribute
+    in {oeq, one, olt, ole, ogt, oge}.  Result type is ``i1``."""
+
+    OP_NAME = "std.cmpf"
+
+    PREDICATES = {
+        "oeq": lambda a, b: a == b,
+        "one": lambda a, b: a != b,
+        "olt": lambda a, b: a < b,
+        "ole": lambda a, b: a <= b,
+        "ogt": lambda a, b: a > b,
+        "oge": lambda a, b: a >= b,
+    }
+
+    @staticmethod
+    def create(predicate: str, lhs: Value, rhs: Value) -> "CmpFOp":
+        from ..ir.attributes import StringAttr
+        from ..ir.types import i1
+
+        if predicate not in CmpFOp.PREDICATES:
+            raise IRError(f"unknown cmpf predicate {predicate!r}")
+        if lhs.type != rhs.type or not is_float(lhs.type):
+            raise IRError("std.cmpf requires matching float operands")
+        return CmpFOp(
+            operands=[lhs, rhs],
+            result_types=[i1],
+            attributes={"predicate": StringAttr(predicate)},
+        )
+
+    @property
+    def predicate(self) -> str:
+        return self.attributes["predicate"].value
+
+
+@register_op
 class AddIOp(IntArithOp):
     OP_NAME = "std.addi"
     PYTHON_FUNC = staticmethod(lambda a, b: a + b)

@@ -20,6 +20,7 @@ from .cache import (  # noqa: F401
 from .codegen import (  # noqa: F401
     EMITTERS,
     EngineError,
+    VECTORIZE_MODES,
     CompiledModule,
     compile_module,
     generate_module_source,
@@ -27,3 +28,4 @@ from .codegen import (  # noqa: F401
 )
 from .disk_cache import DiskKernelCache, default_disk_cache  # noqa: F401
 from .engine import ExecutionEngine, run_function_compiled  # noqa: F401
+from .vectorize import VectorizeStats  # noqa: F401

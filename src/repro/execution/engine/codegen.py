@@ -37,6 +37,13 @@ from .runtime import EngineError
 #: compiled into the generated dispatcher as an infinite-loop backstop.
 MAX_CFG_STEPS = 10_000_000
 
+#: Vectorization modes: ``nest`` collapses whole perfect loop bands,
+#: ``innermost`` restores the PR-2 innermost-only behavior (used by the
+#: benchmarks as the comparison baseline), ``none`` disables the
+#: vectorizer entirely (scalar loops; the ``vectorize-diff`` fuzz
+#: oracle's reference).
+VECTORIZE_MODES = ("nest", "innermost", "none")
+
 
 def _np_dtype_literal(elem_type) -> str:
     if isinstance(elem_type, F64Type):
@@ -78,6 +85,15 @@ class _FuncContext:
         self.indent = 1
         self._names: Dict[int, str] = {}
         self._counter = 0
+        #: depth of scalar-emitted affine.for loops around the current
+        #: op — 0 means the next affine.for starts a fresh nest
+        self.nest_depth = 0
+        #: did any sub-band of the current nest root collapse?
+        self.nest_collapsed_any = False
+        #: induction variables of enclosing scalar loops (innermost
+        #: last), used to split loop-invariant subscript arithmetic
+        #: into hoistable statements
+        self.loop_ivs: List = []
 
     # -- value naming ----------------------------------------------------
 
@@ -165,6 +181,19 @@ def _emit_cmpi(ctx: _FuncContext, op) -> None:
     ctx.emit(f"{ctx.define(op.results[0])} = ({a} {python_op} {b})")
 
 
+def _emit_cmpf(ctx: _FuncContext, op) -> None:
+    python_op = {
+        "oeq": "==", "one": "!=", "olt": "<", "ole": "<=", "ogt": ">", "oge": ">=",
+    }[op.predicate]
+    a, b = ctx.name(op.operand(0)), ctx.name(op.operand(1))
+    ctx.emit(f"{ctx.define(op.results[0])} = ({a} {python_op} {b})")
+
+
+def _emit_negf(ctx: _FuncContext, op) -> None:
+    # Negation is exact in binary floating point: no f32 re-rounding.
+    ctx.emit(f"{ctx.define(op.results[0])} = (-{ctx.name(op.operand(0))})")
+
+
 def _emit_select(ctx: _FuncContext, op) -> None:
     c, t, f = (ctx.name(op.operand(i)) for i in range(3))
     ctx.emit(f"{ctx.define(op.results[0])} = ({t} if {c} else {f})")
@@ -199,21 +228,58 @@ def _emit_std_store(ctx: _FuncContext, op) -> None:
     ctx.emit(f"{mem}[{idx}] = {ctx.name(op.value)}")
 
 
+def _split_subscript_src(ctx: _FuncContext, expr, indices, names) -> str:
+    """Subscript expression source with the part invariant in the
+    innermost enclosing loop split into its own statement, so the
+    textual LICM pass (:mod:`.licm`) can hoist it."""
+    plain = affine_expr_src(expr, names)
+    if not ctx.loop_ivs:
+        return plain
+    linear = expr.as_linear()
+    if linear is None or linear.symbol_coeffs:
+        return plain
+    inner = ctx.loop_ivs[-1]
+    var_terms, inv_terms = [], []
+    for pos in sorted(linear.dim_coeffs):
+        coeff = linear.dim_coeffs[pos]
+        if coeff == 0:
+            continue
+        term = names[pos] if coeff == 1 else f"({coeff} * {names[pos]})"
+        if indices[pos] is inner:
+            var_terms.append(term)
+        else:
+            inv_terms.append(term)
+    if linear.constant:
+        inv_terms.append(str(linear.constant))
+    if not inv_terms or (len(inv_terms) == 1 and not var_terms):
+        return plain
+    inv_src = inv_terms[0] if len(inv_terms) == 1 else f"({' + '.join(inv_terms)})"
+    if not var_terms:
+        temp = ctx.fresh("_i")
+        ctx.emit(f"{temp} = {inv_src}")
+        return temp
+    temp = ctx.fresh("_i")
+    ctx.emit(f"{temp} = {inv_src}")
+    return f"({' + '.join([temp] + var_terms)})"
+
+
 def _affine_access_src(ctx: _FuncContext, op) -> str:
     names = ctx.operand_names(op.indices)
-    return ", ".join(affine_expr_src(e, names) for e in op.map.results)
+    return ", ".join(
+        _split_subscript_src(ctx, e, op.indices, names) for e in op.map.results
+    )
 
 
 def _emit_affine_load(ctx: _FuncContext, op) -> None:
     mem = ctx.name(op.memref)
-    ctx.emit(
-        f"{ctx.define(op.results[0])} = {mem}[{_affine_access_src(ctx, op)}].item()"
-    )
+    access = _affine_access_src(ctx, op)
+    ctx.emit(f"{ctx.define(op.results[0])} = {mem}[{access}].item()")
 
 
 def _emit_affine_store(ctx: _FuncContext, op) -> None:
     mem = ctx.name(op.memref)
-    ctx.emit(f"{mem}[{_affine_access_src(ctx, op)}] = {ctx.name(op.value)}")
+    access = _affine_access_src(ctx, op)
+    ctx.emit(f"{mem}[{access}] = {ctx.name(op.value)}")
 
 
 def _emit_affine_apply(ctx: _FuncContext, op) -> None:
@@ -223,17 +289,42 @@ def _emit_affine_apply(ctx: _FuncContext, op) -> None:
 
 
 def _emit_affine_for(ctx: _FuncContext, op: AffineForOp) -> None:
-    from .vectorize import try_vectorize_affine_for
+    from .vectorize import collect_band, try_vectorize_band
 
+    codegen = ctx.codegen
+    mode = codegen.vectorize
+    stats = codegen.vec_stats
+    is_root = ctx.nest_depth == 0
+    if is_root:
+        ctx.nest_collapsed_any = False
+    if mode != "none":
+        band = collect_band(op)
+        if mode == "innermost" and len(band) > 1:
+            band = None  # emulate the innermost-only vectorizer
+        if band is not None and try_vectorize_band(
+            ctx, band, stats, allow_contraction=(mode == "nest")
+        ):
+            if is_root:
+                stats.nests_collapsed += 1
+            else:
+                ctx.nest_collapsed_any = True
+            return
     lb = ctx.bound_src(op.lower_bound_map, op.lb_operands, minimize=False)
     ub = ctx.bound_src(op.upper_bound_map, op.ub_operands, minimize=True)
-    if try_vectorize_affine_for(ctx, op, lb, ub):
-        return
     iv = ctx.define(op.induction_var)
     ctx.emit(f"for {iv} in range({lb}, {ub}, {op.step}):")
     ctx.indent += 1
+    ctx.nest_depth += 1
+    ctx.loop_ivs.append(op.induction_var)
     ctx.emit_block(op.ops_in_body())
+    ctx.loop_ivs.pop()
+    ctx.nest_depth -= 1
     ctx.indent -= 1
+    if is_root and mode != "none":
+        if ctx.nest_collapsed_any:
+            stats.nests_partial += 1
+        else:
+            stats.nests_bailed += 1
 
 
 def _emit_scf_for(ctx: _FuncContext, op) -> None:
@@ -241,7 +332,9 @@ def _emit_scf_for(ctx: _FuncContext, op) -> None:
     iv = ctx.define(op.induction_var)
     ctx.emit(f"for {iv} in range({lb}, {ub}, {step}):")
     ctx.indent += 1
+    ctx.loop_ivs.append(op.induction_var)
     ctx.emit_block(op.ops_in_body())
+    ctx.loop_ivs.pop()
     ctx.indent -= 1
 
 
@@ -383,6 +476,8 @@ EMITTERS: Dict[str, Callable[[_FuncContext, Operation], None]] = {
     "std.mulf": _float_binary("({a} * {b})"),
     "std.divf": _float_binary("({a} / {b})"),
     "std.maxf": _float_binary("({a} if {a} >= {b} else {b})"),
+    "std.negf": _emit_negf,
+    "std.cmpf": _emit_cmpf,
     "std.addi": _int_binary("({a} + {b})"),
     "std.subi": _int_binary("({a} - {b})"),
     "std.muli": _int_binary("({a} * {b})"),
@@ -432,8 +527,23 @@ EMITTERS: Dict[str, Callable[[_FuncContext, Operation], None]] = {
 
 
 class CodeGenerator:
-    def __init__(self, module: ModuleOp):
+    def __init__(
+        self,
+        module: ModuleOp,
+        vectorize: str = "nest",
+        licm: bool = True,
+    ):
+        if vectorize not in VECTORIZE_MODES:
+            raise EngineError(
+                f"engine: unknown vectorize mode {vectorize!r}; "
+                f"known: {VECTORIZE_MODES}"
+            )
+        from .vectorize import VectorizeStats
+
         self.module = module
+        self.vectorize = vectorize
+        self.licm = licm
+        self.vec_stats = VectorizeStats()
 
     def emit_op(self, ctx: _FuncContext, op: Operation) -> None:
         emitter = EMITTERS.get(op.name)
@@ -448,6 +558,11 @@ class CodeGenerator:
         region = func.regions[0]
         if len(region.blocks) == 1:
             ctx.emit_block(region.entry_block.operations)
+            if self.licm:
+                from .licm import hoist_loop_invariants
+
+                ctx.lines, hoisted = hoist_loop_invariants(ctx.lines)
+                self.vec_stats.licm_hoisted += hoisted
             if not _returns_on_all_paths(ctx.lines):
                 ctx.emit("return []")
         else:
@@ -521,25 +636,38 @@ def _returns_on_all_paths(lines: List[str]) -> bool:
     return False
 
 
-def generate_module_source(module: ModuleOp) -> str:
-    """Generate the full Python source for a module's functions."""
-    generator = CodeGenerator(module)
+def _module_chunks(generator: CodeGenerator) -> str:
     chunks = ["# generated by repro.execution.engine — do not edit"]
-    for func in module.functions:
+    for func in generator.module.functions:
         chunks.append("\n".join(generator.generate_function(func)))
     return "\n\n\n".join(chunks) + "\n"
 
 
+def generate_module_source(
+    module: ModuleOp, vectorize: str = "nest", licm: bool = True
+) -> str:
+    """Generate the full Python source for a module's functions."""
+    return _module_chunks(CodeGenerator(module, vectorize=vectorize, licm=licm))
+
+
 @dataclass
 class CompiledModule:
-    """A compiled kernel: generated source plus callable entry points."""
+    """A compiled kernel: generated source plus callable entry points.
+
+    ``vectorize_stats`` is the codegen-time :class:`~.vectorize.
+    VectorizeStats` snapshot (``None`` for kernels re-hydrated from a
+    pre-stats disk artifact).
+    """
 
     key: str
     source: str
     functions: Dict[str, Callable]
+    vectorize_stats: Optional[dict] = None
 
 
-def load_compiled_source(source: str, key: str = "") -> CompiledModule:
+def load_compiled_source(
+    source: str, key: str = "", vectorize_stats: Optional[dict] = None
+) -> CompiledModule:
     """``compile()`` + ``exec`` already-generated kernel source.
 
     This is the disk-cache re-hydration path: no IR walk, no codegen —
@@ -558,9 +686,24 @@ def load_compiled_source(source: str, key: str = "") -> CompiledModule:
         for name, fn in namespace.items()
         if name.startswith("_fn_") and callable(fn)
     }
-    return CompiledModule(key=key, source=source, functions=functions)
+    return CompiledModule(
+        key=key,
+        source=source,
+        functions=functions,
+        vectorize_stats=vectorize_stats,
+    )
 
 
-def compile_module(module: ModuleOp, key: str = "") -> CompiledModule:
+def compile_module(
+    module: ModuleOp,
+    key: str = "",
+    vectorize: str = "nest",
+    licm: bool = True,
+) -> CompiledModule:
     """Codegen + ``compile()`` one module into callable kernels."""
-    return load_compiled_source(generate_module_source(module), key)
+    generator = CodeGenerator(module, vectorize=vectorize, licm=licm)
+    return load_compiled_source(
+        _module_chunks(generator),
+        key,
+        vectorize_stats=generator.vec_stats.snapshot(),
+    )

@@ -121,7 +121,11 @@ class DiskKernelCache:
         if payload is None or "source" not in payload:
             return None
         try:
-            return load_compiled_source(payload["source"], key)
+            return load_compiled_source(
+                payload["source"],
+                key,
+                vectorize_stats=payload.get("vectorize_stats"),
+            )
         except Exception:
             # An artifact that no longer execs (e.g. written by an
             # incompatible engine version) is a miss, not a crash.
@@ -130,16 +134,17 @@ class DiskKernelCache:
             return None
 
     def store(self, key: str, compiled: "CompiledModule") -> None:
-        self._write_payload(
-            key,
-            {
-                "key": key,
-                "kind": "kernel",
-                "source": compiled.source,
-                "functions": sorted(compiled.functions),
-                "created": time.time(),
-            },
-        )
+        payload = {
+            "key": key,
+            "kind": "kernel",
+            "source": compiled.source,
+            "functions": sorted(compiled.functions),
+            "created": time.time(),
+        }
+        stats = getattr(compiled, "vectorize_stats", None)
+        if stats is not None:
+            payload["vectorize_stats"] = stats
+        self._write_payload(key, payload)
 
     # -- text artifacts (printed IR, batch outputs) --------------------
 

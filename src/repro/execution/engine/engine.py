@@ -15,7 +15,7 @@ import numpy as np
 
 from ...ir import ModuleOp, MemRefType
 from .cache import KERNEL_CACHE, KernelCache
-from .codegen import CompiledModule, compile_module
+from .codegen import VECTORIZE_MODES, CompiledModule, compile_module
 from .runtime import EngineError
 
 
@@ -25,7 +25,10 @@ class ExecutionEngine:
     Construction triggers codegen (or a cache hit); ``run`` is then a
     plain Python call into the compiled kernel.  ``pipeline`` is folded
     into the cache key so the same kernel lowered by two different
-    pipelines never collides.
+    pipelines never collides; a non-default ``vectorize`` mode (see
+    :data:`~.codegen.VECTORIZE_MODES`) is folded in too, so the
+    ``vectorize-diff`` oracle and the mode-comparison benchmarks never
+    share kernels across modes.
     """
 
     def __init__(
@@ -33,18 +36,39 @@ class ExecutionEngine:
         module: ModuleOp,
         pipeline: str = "",
         cache: Optional[KernelCache] = None,
+        vectorize: str = "nest",
     ):
+        if vectorize not in VECTORIZE_MODES:
+            raise EngineError(
+                f"engine: unknown vectorize mode {vectorize!r}; "
+                f"known: {VECTORIZE_MODES}"
+            )
         self.module = module
         self.pipeline = pipeline
+        self.vectorize = vectorize
         self.cache = cache if cache is not None else KERNEL_CACHE
+        cache_tag = (
+            pipeline
+            if vectorize == "nest"
+            else f"{pipeline}#vectorize={vectorize}"
+        )
         self.compiled: CompiledModule = self.cache.get_or_compile(
-            module, pipeline, lambda key: compile_module(module, key)
+            module,
+            cache_tag,
+            lambda key: compile_module(module, key, vectorize=vectorize),
         )
 
     @property
     def source(self) -> str:
         """Generated Python source of the compiled kernel."""
         return self.compiled.source
+
+    @property
+    def vectorize_stats(self) -> Optional[dict]:
+        """Codegen-time vectorizer decisions for this kernel, or
+        ``None`` when the kernel was re-hydrated from a disk artifact
+        that predates stats."""
+        return getattr(self.compiled, "vectorize_stats", None)
 
     def stats(self) -> dict:
         return self.cache.stats.snapshot()

@@ -1,0 +1,223 @@
+"""Loop-invariant code motion over generated kernel source.
+
+Runs after codegen, before ``compile()``: a purely *textual* pass over
+the emitted lines of one function that hoists invariant straight-line
+assignments out of the residual scalar ``for`` loops the vectorizer
+bailed on.  Codegen cooperates by splitting loop-invariant subscript
+arithmetic into separate ``_i<N> = ...`` statements (see
+``_split_subscript_src``), so both the subscript arithmetic and
+invariant ``.item()`` loads become single hoistable lines.
+
+Legality model (deliberately conservative):
+
+* Only plain ``NAME = EXPR`` lines that are **direct** children of a
+  ``for NAME in range(...):`` block are candidates.
+* A candidate hoists only when no identifier in ``EXPR`` is the loop
+  variable, assigned anywhere in the loop body, or a buffer the loop
+  body writes (subscript stores, and — conservatively — every name
+  that appears in a mutating ``_rt.*`` runtime call).
+* Calls in ``EXPR`` must be known-pure (``len``/``min``/``max``/
+  ``int``/``abs``/``_f32``/``.item()``); a loop containing a
+  ``_fn_*`` call, ``while``, ``return``, or ``raise`` is skipped
+  entirely.
+* Generated code is single-assignment, so a hoisted name can in turn
+  unlock later candidates that only depend on it.
+
+Exception safety: an expression that can fault (a subscript read, a
+division, a modulo) must not execute when the loop would have run zero
+iterations, so such hoists wrap the loop in an
+``if len(range(...)) > 0:`` guard.  Fault-free arithmetic hoists
+unguarded, which leaves it a direct child of the enclosing loop —
+eligible to keep hoisting outward level by level.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Set, Tuple
+
+_INDENT = "    "
+
+_ASSIGN_RE = re.compile(r"^(\w+) = (.+)$")
+_FOR_RE = re.compile(r"^for (\w+) in range\((.+)\):$")
+_NAME_RE = re.compile(r"[A-Za-z_]\w*")
+_CALL_RE = re.compile(r"([\w.]+)\(")
+_SUBSCRIPT_STORE_RE = re.compile(r"^(\w+)\[")
+
+#: Call targets allowed inside a hoistable expression.  ``.item`` is a
+#: method suffix (``A[i].item()``); everything here is pure.
+_PURE_CALLS = {"len", "range", "min", "max", "int", "float", "abs", "_f32"}
+
+#: A loop containing any of these anywhere gives up on hoisting: calls
+#: into other generated functions have unknown effects, ``while`` only
+#: appears in CFG dispatchers, and early exits change which statements
+#: execute.
+_POISON_RE = re.compile(r"_fn_\w+\(|^\s*(while |return|raise )")
+
+
+class _Node:
+    """One generated line, plus its nested suite when it opens a block."""
+
+    __slots__ = ("text", "children")
+
+    def __init__(self, text: str, children: Optional[List["_Node"]] = None):
+        self.text = text
+        self.children = children if children is not None else []
+
+    def walk_lines(self):
+        yield self.text
+        for child in self.children:
+            yield from child.walk_lines()
+
+
+def _parse(lines: List[str], start: int, level: int) -> Tuple[List["_Node"], int]:
+    nodes: List[_Node] = []
+    i = start
+    prefix = _INDENT * level
+    while i < len(lines):
+        line = lines[i]
+        stripped = line.lstrip(" ")
+        depth = (len(line) - len(stripped)) // len(_INDENT)
+        if depth < level:
+            break
+        text = line[len(prefix):]
+        if text.endswith(":") and i + 1 < len(lines):
+            nxt = lines[i + 1]
+            nxt_depth = (len(nxt) - len(nxt.lstrip(" "))) // len(_INDENT)
+            if nxt_depth > level:
+                children, i = _parse(lines, i + 1, level + 1)
+                nodes.append(_Node(text, children))
+                continue
+        nodes.append(_Node(text))
+        i += 1
+    return nodes, i
+
+
+def _render(nodes: List[_Node], level: int, out: List[str]) -> None:
+    for node in nodes:
+        out.append(_INDENT * level + node.text)
+        _render(node.children, level + 1, out)
+
+
+def _loop_facts(loop: _Node):
+    """(assignment counts, written/mutated buffer names, poisoned)."""
+    assigned: dict = {}
+    stored: Set[str] = set()
+    poisoned = False
+    for line in loop.walk_lines():
+        stripped = line.strip()
+        if _POISON_RE.search(stripped):
+            poisoned = True
+        match = _FOR_RE.match(stripped)
+        if match:
+            name = match.group(1)
+            assigned[name] = assigned.get(name, 0) + 2  # reassigned per trip
+            continue
+        if "_rt." in stripped:
+            # Runtime helpers mutate their array arguments; poison
+            # every name on the line.
+            stored.update(_NAME_RE.findall(stripped))
+            continue
+        if " = " in stripped or " += " in stripped or " -= " in stripped:
+            lhs = re.split(r" [-+]?= ", stripped, maxsplit=1)[0]
+            sub = _SUBSCRIPT_STORE_RE.match(lhs)
+            if sub:
+                stored.add(sub.group(1))
+            else:
+                for name in _NAME_RE.findall(lhs):
+                    assigned[name] = assigned.get(name, 0) + 1
+    return assigned, stored, poisoned
+
+
+def _calls_are_pure(expr: str) -> bool:
+    for callee in _CALL_RE.findall(expr):
+        if callee in _PURE_CALLS or callee.endswith(".item"):
+            continue
+        return False
+    return True
+
+
+def _can_fault(expr: str) -> bool:
+    """Subscript reads can go out of bounds; ``/``, ``//``, ``%`` can
+    divide by zero.  Pure +,*,comparison arithmetic on ints/floats
+    cannot raise."""
+    return "[" in expr or "/" in expr or "%" in expr
+
+
+def _hoist_from_loop(loop: _Node) -> Tuple[List[_Node], List[_Node], int]:
+    """Returns (unguarded hoists, guarded hoists, count)."""
+    match = _FOR_RE.match(loop.text)
+    assert match is not None
+    loop_var = match.group(1)
+    assigned, stored, poisoned = _loop_facts(loop)
+    if poisoned:
+        return [], [], 0
+    blocked = set(assigned) | stored | {loop_var}
+    free: List[_Node] = []
+    guarded: List[_Node] = []
+    guarded_names: Set[str] = set()
+    kept: List[_Node] = []
+    for node in loop.children:
+        assign = None if node.children else _ASSIGN_RE.match(node.text)
+        if assign is not None:
+            name, expr = assign.group(1), assign.group(2)
+            names = set(_NAME_RE.findall(expr))
+            if not (names & blocked) and _calls_are_pure(expr):
+                # A candidate depending on a guarded hoist must stay
+                # behind the same guard to keep definition order.
+                if _can_fault(expr) or (names & guarded_names):
+                    guarded.append(node)
+                    guarded_names.add(name)
+                else:
+                    free.append(node)
+                # A name assigned exactly once in the loop is gone from
+                # the body after hoisting, so later candidates that
+                # only depended on it are now invariant too.
+                if assigned.get(name) == 1 and name not in stored:
+                    blocked.discard(name)
+                continue
+        kept.append(node)
+    if not free and not guarded:
+        return [], [], 0
+    loop.children = kept if kept else [_Node("pass")]
+    return free, guarded, len(free) + len(guarded)
+
+
+def _process(nodes: List[_Node]) -> Tuple[List[_Node], int]:
+    out: List[_Node] = []
+    total = 0
+    for node in nodes:
+        if node.children:
+            node.children, count = _process(node.children)
+            total += count
+        if _FOR_RE.match(node.text) is None:
+            out.append(node)
+            continue
+        free, guarded, count = _hoist_from_loop(node)
+        total += count
+        out.extend(free)
+        if guarded:
+            range_args = _FOR_RE.match(node.text).group(2)
+            guard = _Node(
+                f"if len(range({range_args})) > 0:", guarded + [node]
+            )
+            out.append(guard)
+        else:
+            out.append(node)
+    return out, total
+
+
+def hoist_loop_invariants(lines: List[str]) -> Tuple[List[str], int]:
+    """Hoist invariant assignments in one function's body lines.
+
+    ``lines`` are the generated body statements (indent unit four
+    spaces, starting at depth one).  Returns the transformed lines and
+    the number of statements hoisted.
+    """
+    nodes, _ = _parse(lines, 0, 1)
+    nodes, count = _process(nodes)
+    if count == 0:
+        return lines, 0
+    out: List[str] = []
+    _render(nodes, 1, out)
+    return out, count

@@ -1,33 +1,54 @@
-"""Innermost-loop vectorization for the compiled engine.
+"""Whole-nest vectorization for the compiled engine.
 
-An innermost ``affine.for`` whose body is a straight line of affine
-loads/stores and float arithmetic is rewritten from a per-iteration
-Python loop into NumPy slice arithmetic: every access where the
-induction variable appears linearly in exactly one subscript becomes a
-strided slice, the arithmetic chain evaluates element-wise over whole
-vectors, and the single store either writes a slice (element-wise case)
-or folds a ``_np.sum`` into its accumulator (reduction case).
+The unit of vectorization is a **band**: the longest chain of perfectly
+nested ``affine.for`` ops starting at a given loop (each body is exactly
+one ``affine.for`` until the compute body).  When the innermost body is
+a straight line of affine loads/stores and element-wise float
+arithmetic, the whole band collapses into *one* N-dimensional NumPy
+expression — every induction variable becomes an array axis, every
+access where an induction variable appears linearly in exactly one
+subscript becomes a strided slice, and the single store either assigns
+a slice (element-wise case) or folds a ``.sum``/contraction into its
+accumulator (reduction case).
+
+On top of the band analysis, **contraction recognition** turns the
+canonical accumulate-a-product-of-loads shape (``C[i,j] += A[i,k] *
+B[k,j]`` and friends) into a single :func:`~.runtime.contract` call —
+``np.tensordot``/``np.einsum`` underneath — so even un-raised baseline
+pipelines reach BLAS-grade kernels.
 
 The transform bails out — returning ``False`` so codegen falls back to
-the scalar loop — whenever it cannot prove safety:
+a scalar Python loop for the *outermost* band loop and retries on the
+next-inner loop (partial collapse: the innermost ``k`` dims of a band
+still vectorize) — whenever it cannot prove safety:
 
-* any body op outside the safe set (nested loops, integer/index
-  arithmetic, calls, ...);
+* any body op outside :data:`SAFE_OPS` (nested non-perfect loops,
+  integer/index arithmetic, calls, ...);
+* an inner band loop whose bounds depend on an outer band induction
+  variable (triangular nests);
 * more than one store, or a store whose value is not a recognisable
-  accumulator update when the induction variable is absent from its
-  subscripts;
-* the induction variable appearing non-linearly, with a non-positive
-  stride, or in more than one subscript of an access;
+  accumulator update when some band induction variable is absent from
+  its subscripts;
+* an induction variable appearing non-linearly, with a non-positive
+  stride, in more than one subscript of an access, or two induction
+  variables sharing one subscript;
 * a load from the stored buffer whose subscripts are not structurally
-  identical to the store's (a loop-carried dependence).
+  identical to the store's (a loop-carried dependence);
+* a reduction whose contribution does not vary along every reduced
+  axis (summing a broadcast value reassociates differently from the
+  sequential scalar loop).
 
-Buffers are assumed non-aliasing unless they are the same SSA value —
-the same assumption the rest of the evaluation stack makes, and one the
-fuzzing ``engine-diff`` stage continuously cross-checks.
+Every bail-out is recorded with a reason key on the function's
+:class:`VectorizeStats`; a bail-out is never an error, just slower
+code.  Buffers are assumed non-aliasing unless they are the same SSA
+value — the same assumption the rest of the evaluation stack makes,
+and one the fuzzing ``engine-diff``/``vectorize-diff`` stages
+continuously cross-check.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ...dialects.affine import AffineForOp, AffineLoadOp, AffineStoreOp
@@ -46,6 +67,9 @@ SAFE_OPS = {
     "std.mulf",
     "std.divf",
     "std.maxf",
+    "std.negf",
+    "std.cmpf",
+    "std.select",
 }
 
 _VEC_BINOPS = {
@@ -64,6 +88,92 @@ _SCALAR_BINOPS = {
     "std.maxf": "({a} if {a} >= {b} else {b})",
 }
 
+_CMPF_PYTHON = {
+    "oeq": "==",
+    "one": "!=",
+    "olt": "<",
+    "ole": "<=",
+    "ogt": ">",
+    "oge": ">=",
+}
+
+#: Axis labels for contraction specs; bands deeper than this skip the
+#: contraction fast path (the generic ``.sum`` path still applies).
+_EINSUM_LETTERS = "abcdefghijklmnopqrstuvwxyz"
+
+
+@dataclass
+class VectorizeStats:
+    """Per-module vectorizer observability, aggregated over functions.
+
+    A *nest* is an outermost ``affine.for`` (one not syntactically
+    contained in another ``affine.for``).  ``bail_reasons`` counts
+    failed collapse *attempts* by reason key — a nest that bails at
+    depth 3, 2, and 1 before running scalar records three attempts.
+    """
+
+    nests_collapsed: int = 0
+    nests_partial: int = 0
+    nests_bailed: int = 0
+    contractions: int = 0
+    licm_hoisted: int = 0
+    bail_reasons: Dict[str, int] = field(default_factory=dict)
+
+    def record_bail(self, reason: str) -> None:
+        self.bail_reasons[reason] = self.bail_reasons.get(reason, 0) + 1
+
+    def snapshot(self) -> dict:
+        return {
+            "nests_collapsed": self.nests_collapsed,
+            "nests_partial": self.nests_partial,
+            "nests_bailed": self.nests_bailed,
+            "contractions": self.contractions,
+            "licm_hoisted": self.licm_hoisted,
+            "bail_reasons": dict(sorted(self.bail_reasons.items())),
+        }
+
+
+class _Bail(Exception):
+    """Internal: pattern not vectorizable, fall back to a scalar loop."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+def collect_band(op: AffineForOp) -> List[AffineForOp]:
+    """The maximal perfect nest rooted at ``op``, outermost first."""
+    band = [op]
+    while True:
+        body = band[-1].ops_in_body()
+        if len(body) == 1 and isinstance(body[0], AffineForOp):
+            band.append(body[0])
+        else:
+            return band
+
+
+def try_vectorize_band(
+    ctx,
+    band: List[AffineForOp],
+    stats: Optional[VectorizeStats] = None,
+    allow_contraction: bool = True,
+) -> bool:
+    """Emit ``band`` as one N-d NumPy expression; False means bail.
+
+    On a bail the reason is recorded on ``stats`` and nothing has been
+    emitted (analysis runs before any line is generated).
+    """
+    try:
+        vec = _Vectorizer(ctx, band, allow_contraction)
+    except _Bail as bail:
+        if stats is not None:
+            stats.record_bail(bail.reason)
+        return False
+    vec.emit()
+    if stats is not None and vec.contraction is not None:
+        stats.contractions += 1
+    return True
+
 
 def _access_signature(op) -> tuple:
     """Structural identity of an affine access: same map results over
@@ -76,94 +186,114 @@ def _access_signature(op) -> tuple:
 
 
 class _Access:
-    """Analysis of one affine load/store against the loop's iv."""
+    """Analysis of one affine load/store against the band's ivs.
 
-    def __init__(self, op, iv):
+    ``axes`` maps a band iv index to ``(subscript position, iv
+    coefficient)``; iv indices absent from ``axes`` do not appear in
+    the access.  After slicing, the array's dimensions correspond to
+    the sliced subscript positions in order — :attr:`sub_order` lists
+    the band iv index carried by each of those dimensions.
+    """
+
+    def __init__(self, op, ivs):
         self.op = op
         self.signature = _access_signature(op)
-        #: per-subscript iv coefficient (0 when the iv is absent)
-        self.coeffs: List[int] = []
-        #: subscript position carrying the iv, or None
-        self.vec_dim: Optional[int] = None
-        iv_positions = {
-            pos for pos, value in enumerate(op.indices) if value is iv
-        }
+        self.axes: Dict[int, Tuple[int, int]] = {}
+        iv_positions = [
+            {pos for pos, value in enumerate(op.indices) if value is iv}
+            for iv in ivs
+        ]
         for result_pos, expr in enumerate(op.map.results):
-            used = expr.dims_used() & iv_positions
-            if not used:
-                self.coeffs.append(0)
+            used = expr.dims_used()
+            hit = [
+                b for b, positions in enumerate(iv_positions)
+                if used & positions
+            ]
+            if not hit:
                 continue
+            if len(hit) > 1:
+                raise _Bail("two-ivs-in-one-subscript")
+            b = hit[0]
             linear = expr.as_linear()
             if linear is None:
-                raise _Bail(f"non-linear use of the iv in {op.name}")
-            coeff = sum(linear.dim_coeffs.get(pos, 0) for pos in used)
+                raise _Bail("non-linear-subscript")
+            coeff = sum(
+                linear.dim_coeffs.get(pos, 0) for pos in iv_positions[b]
+            )
             if coeff <= 0:
-                raise _Bail("iv stride must be positive")
-            if self.vec_dim is not None:
-                raise _Bail("iv appears in two subscripts of one access")
-            self.vec_dim = result_pos
-            self.coeffs.append(coeff)
-        if self.vec_dim is None:
-            self.coeffs = [0] * len(op.map.results)
+                raise _Bail("non-positive-stride")
+            if b in self.axes:
+                raise _Bail("iv-in-two-subscripts")
+            self.axes[b] = (result_pos, coeff)
+        #: band iv indices in subscript (sliced-array dimension) order
+        self.sub_order: List[int] = [
+            b for _, b in sorted((pos, b) for b, (pos, _) in self.axes.items())
+        ]
+        self.vary = frozenset(self.axes)
 
     @property
     def is_vector(self) -> bool:
-        return self.vec_dim is not None
-
-
-class _Bail(Exception):
-    """Internal: pattern not vectorizable, fall back to the scalar loop."""
-
-
-def try_vectorize_affine_for(ctx, op: AffineForOp, lb: str, ub: str) -> bool:
-    """Emit ``op`` as NumPy slice arithmetic; False means fall back."""
-    try:
-        _Vectorizer(ctx, op).emit(lb, ub)
-        return True
-    except _Bail:
-        return False
+        return bool(self.axes)
 
 
 class _Vectorizer:
-    def __init__(self, ctx, op: AffineForOp):
+    """Analysis (may raise :class:`_Bail`) then emission for one band."""
+
+    def __init__(self, ctx, band: List[AffineForOp], allow_contraction: bool):
         self.ctx = ctx
-        self.op = op
-        self.iv = op.induction_var
-        self.body = op.ops_in_body()
+        self.band = band
+        self.rank = len(band)
+        self.ivs = [loop.induction_var for loop in band]
+        self.body = band[-1].ops_in_body()
+        self.allow_contraction = allow_contraction
         self.accesses: Dict[int, _Access] = {}
-        #: generated expression + vec-ness per SSA value produced in the
-        #: body: id(value) -> (source, is_vector)
-        self.values: Dict[int, Tuple[str, bool]] = {}
+        #: id(value) -> vary set, computed during analysis
+        self.vary: Dict[int, frozenset] = {}
+        #: id(value) -> generated canonical expression (emission phase)
+        self.values: Dict[int, str] = {}
+        #: id(value) -> raw (subscript-order) slice temp, for contraction
+        self.raw_views: Dict[int, str] = {}
         self.store: Optional[AffineStoreOp] = None
         self.fused_ops: set = set()
+        self.contraction = None
         self.analyze()
 
     # -- analysis --------------------------------------------------------
 
+    def _vary_of(self, value) -> frozenset:
+        return self.vary.get(id(value), frozenset())
+
     def analyze(self) -> None:
+        ivs = set(map(id, self.ivs))
+        for loop in self.band[1:]:
+            if any(
+                id(v) in ivs
+                for v in list(loop.lb_operands) + list(loop.ub_operands)
+            ):
+                raise _Bail("triangular-bounds")
         stores = []
-        self.vec_ids: set = set()
         for body_op in self.body:
             if body_op.name not in SAFE_OPS:
-                raise _Bail(f"unsafe op {body_op.name}")
+                raise _Bail("unsafe-op")
             if isinstance(body_op, (AffineLoadOp, AffineStoreOp)):
-                self.accesses[id(body_op)] = _Access(body_op, self.iv)
+                self.accesses[id(body_op)] = _Access(body_op, self.ivs)
             if isinstance(body_op, AffineStoreOp):
                 stores.append(body_op)
             elif body_op.results:
                 result = body_op.results[0]
                 if isinstance(body_op, AffineLoadOp):
-                    if self.accesses[id(body_op)].is_vector:
-                        self.vec_ids.add(id(result))
-                elif any(
-                    id(value) in self.vec_ids for value in body_op.operands
-                ):
-                    self.vec_ids.add(id(result))
+                    self.vary[id(result)] = self.accesses[id(body_op)].vary
+                else:
+                    vary = frozenset()
+                    for value in body_op.operands:
+                        vary = vary | self._vary_of(value)
+                    self.vary[id(result)] = vary
         if len(stores) != 1:
-            raise _Bail("need exactly one store")
+            raise _Bail("multiple-stores" if stores else "no-store")
         self.store = stores[0]
         store_access = self.accesses[id(self.store)]
-        if store_access.is_vector:
+        self.reduced = frozenset(range(self.rank)) - store_access.vary
+        if not self.reduced:
             self._check_elementwise_hazards(store_access)
         else:
             self._match_reduction(store_access)
@@ -179,15 +309,15 @@ class _Vectorizer:
     def _check_elementwise_hazards(self, store_access: _Access) -> None:
         for access in self._loads_of_stored_buffer(store_access):
             if access.signature != store_access.signature:
-                raise _Bail("loop-carried dependence on the stored buffer")
+                raise _Bail("loop-carried-dependence")
 
     def _match_reduction(self, store_access: _Access) -> None:
-        """iv absent from the store: only ``acc = acc +/- vector`` folds."""
+        """Some ivs absent from the store: only ``acc = acc +/- v`` folds."""
         update = self.store.value.defining_op
         if update is None or update.name not in ("std.addf", "std.subf"):
-            raise _Bail("store target is loop-invariant but not a reduction")
+            raise _Bail("not-a-reduction")
         if not update.results[0].has_one_use():
-            raise _Bail("reduction update has other users")
+            raise _Bail("reduction-update-shared")
         lhs, rhs = update.operand(0), update.operand(1)
         acc, contrib = None, None
         for candidate, other in ((lhs, rhs), (rhs, lhs)):
@@ -200,30 +330,84 @@ class _Vectorizer:
                 acc, contrib = load, other
                 break
         if acc is None:
-            raise _Bail("no accumulator load matching the store")
+            raise _Bail("no-accumulator-load")
         if update.name == "std.subf" and update.operand(0) is not acc.results[0]:
-            raise _Bail("subtraction reduction must subtract from the acc")
+            raise _Bail("subtrahend-accumulator")
         if not acc.results[0].has_one_use():
-            raise _Bail("accumulator load has other users")
+            raise _Bail("accumulator-reused")
         loads = self._loads_of_stored_buffer(store_access)
         if any(load.op is not acc for load in loads):
-            raise _Bail("extra load of the reduction buffer")
-        if id(contrib) not in self.vec_ids:
-            raise _Bail("reduction contribution is loop-invariant")
+            raise _Bail("extra-reduction-load")
+        if not self.reduced <= self._vary_of(contrib):
+            # Summing a value that is broadcast along a reduced axis
+            # reassociates n sequential rounded adds into one multiply.
+            raise _Bail("invariant-reduction-axis")
         self.reduction = (update, acc, contrib)
         self.fused_ops = {id(update), id(acc)}
+        if self.allow_contraction:
+            self.contraction = self._match_contraction(contrib)
+            if self.contraction is not None:
+                leaves, scalars, internal = self.contraction
+                self.fused_ops.update(id(op) for op in internal)
+
+    def _match_contraction(self, contrib):
+        """Recognise ``contrib`` as a product of vector loads (times
+        scalar factors) suitable for one :func:`~.runtime.contract`
+        call.  Returns ``(vector_loads, scalar_values, internal_muls)``
+        or ``None``."""
+        if self.rank > len(_EINSUM_LETTERS):
+            return None
+        # Every output label must appear in some input: the product
+        # must vary over the full band, not just the reduced axes.
+        if self._vary_of(contrib) != frozenset(range(self.rank)):
+            return None
+        leaves: List[AffineLoadOp] = []
+        scalars: List = []
+        internal: List[Operation] = []
+
+        def walk(value) -> bool:
+            if not self._vary_of(value):
+                scalars.append(value)
+                return True
+            op = value.defining_op
+            if (
+                isinstance(op, AffineLoadOp)
+                and id(op) in self.accesses
+                and self.accesses[id(op)].is_vector
+            ):
+                leaves.append(op)
+                return True
+            if (
+                op is not None
+                and op.name == "std.mulf"
+                and id(op.results[0]) in self.vary
+                and value.has_one_use()
+            ):
+                internal.append(op)
+                return walk(op.operand(0)) and walk(op.operand(1))
+            return False
+
+        if not walk(contrib) or len(leaves) < 2:
+            return None
+        return leaves, scalars, internal
 
     # -- emission --------------------------------------------------------
 
-    def emit(self, lb: str, ub: str) -> None:
+    def emit(self) -> None:
         ctx = self.ctx
-        n = ctx.fresh("_n")
-        lb_name = ctx.fresh("_lb")
-        ctx.emit(f"{lb_name} = {lb}")
-        ctx.emit(f"{n} = len(range({lb_name}, {ub}, {self.op.step}))")
-        self.n = n
-        self.lb_name = lb_name
-        ctx.emit(f"if {n} > 0:")
+        self.lb_names: List[str] = []
+        self.n_names: List[str] = []
+        for loop in self.band:
+            lb = ctx.bound_src(loop.lower_bound_map, loop.lb_operands, minimize=False)
+            ub = ctx.bound_src(loop.upper_bound_map, loop.ub_operands, minimize=True)
+            lb_name = ctx.fresh("_lb")
+            n = ctx.fresh("_n")
+            ctx.emit(f"{lb_name} = {lb}")
+            ctx.emit(f"{n} = len(range({lb_name}, {ub}, {loop.step}))")
+            self.lb_names.append(lb_name)
+            self.n_names.append(n)
+        guard = " and ".join(f"{n} > 0" for n in self.n_names)
+        ctx.emit(f"if {guard}:")
         ctx.indent += 1
         for body_op in self.body:
             if id(body_op) in self.fused_ops:
@@ -241,84 +425,175 @@ class _Vectorizer:
                 if is_float(body_op.results[0].type)
                 else repr(int(value))
             )
-            self.values[id(body_op.results[0])] = (literal, False)
+            self.values[id(body_op.results[0])] = literal
         elif name == "affine.load":
             self._emit_load(body_op)
         elif name == "affine.store":
             self._emit_store(body_op)
+        elif name == "std.negf":
+            a = self._value(body_op.operand(0))
+            src = f"(-{a})"
+            if not self._vary_of(body_op.results[0]) and str(
+                body_op.results[0].type
+            ) == "f32":
+                src = f"_f32({src})"
+            self._assign(body_op.results[0], src)
+        elif name == "std.cmpf":
+            a = self._value(body_op.operand(0))
+            b = self._value(body_op.operand(1))
+            self._assign(
+                body_op.results[0],
+                f"({a} {_CMPF_PYTHON[body_op.predicate]} {b})",
+            )
+        elif name == "std.select":
+            c, t, f = (self._value(body_op.operand(i)) for i in range(3))
+            if self._vary_of(body_op.results[0]) or self._vary_of(
+                body_op.operand(0)
+            ):
+                src = f"_np.where({c}, {t}, {f})"
+            else:
+                src = f"({t} if {c} else {f})"
+            self._assign(body_op.results[0], src)
         else:  # float binary
-            a_src, a_vec = self._value(body_op.operand(0))
-            b_src, b_vec = self._value(body_op.operand(1))
-            vec = a_vec or b_vec
+            a = self._value(body_op.operand(0))
+            b = self._value(body_op.operand(1))
+            vec = bool(self._vary_of(body_op.results[0]))
             table = _VEC_BINOPS if vec else _SCALAR_BINOPS
-            src = table[name].format(a=a_src, b=b_src)
+            src = table[name].format(a=a, b=b)
             if not vec and str(body_op.results[0].type) == "f32":
                 src = f"_f32({src})"
-            temp = ctx.fresh()
-            ctx.emit(f"{temp} = {src}")
-            self.values[id(body_op.results[0])] = (temp, vec)
+            self._assign(body_op.results[0], src)
 
-    def _value(self, value) -> Tuple[str, bool]:
-        entry = self.values.get(id(value))
-        if entry is not None:
-            return entry
-        # Defined outside the loop body (outer iv, function arg, ...).
-        return self.ctx.name(value), False
+    def _assign(self, result, src: str) -> None:
+        temp = self.ctx.fresh()
+        self.ctx.emit(f"{temp} = {src}")
+        self.values[id(result)] = temp
+
+    def _value(self, value) -> str:
+        src = self.values.get(id(value))
+        if src is not None:
+            return src
+        # Defined outside the band (function arg, outer scalar, ...).
+        return self.ctx.name(value)
 
     def _subscript(self, access: _Access) -> str:
-        """Render an access's subscript tuple, slicing the iv dimension."""
+        """Render an access's subscript tuple, slicing every band-iv
+        dimension."""
         ctx = self.ctx
         op = access.op
-        # Index operand names with the iv position(s) replaced by the
-        # hoisted lower bound, so the remaining expression computes the
-        # slice *start*.
+        iv_index = {id(iv): b for b, iv in enumerate(self.ivs)}
+        # Index operand names with iv positions replaced by the hoisted
+        # lower bounds, so the remaining expression computes each slice
+        # *start*.
         names = [
-            self.lb_name if value is self.iv else ctx.name(value)
+            self.lb_names[iv_index[id(value)]]
+            if id(value) in iv_index
+            else ctx.name(value)
             for value in op.indices
         ]
+        sliced_at = {pos: b for b, (pos, _) in access.axes.items()}
         parts = []
         for pos, expr in enumerate(op.map.results):
             src = affine_expr_src(expr, names)
-            if pos == access.vec_dim:
-                stride = access.coeffs[pos] * self.op.step
+            b = sliced_at.get(pos)
+            if b is not None:
+                stride = access.axes[b][1] * self.band[b].step
                 start = ctx.fresh("_s")
                 ctx.emit(f"{start} = {src}")
                 parts.append(
-                    f"slice({start}, {start} + {stride} * {self.n}, {stride})"
+                    f"slice({start}, {start} + {stride} * "
+                    f"{self.n_names[b]}, {stride})"
                 )
             else:
                 parts.append(src)
         return ", ".join(parts)
 
+    def _canonicalize(self, raw: str, access: _Access) -> str:
+        """Align a sliced array's axes to band order and broadcast-expand
+        missing ivs, so all vector values combine by NumPy broadcasting.
+        Both steps are O(1) views."""
+        present = sorted(access.axes)
+        expr = raw
+        perm = tuple(access.sub_order.index(b) for b in present)
+        if perm != tuple(range(len(perm))):
+            expr = f"{expr}.transpose({perm})"
+        if len(present) != self.rank:
+            index = ", ".join(
+                ":" if b in access.axes else "None" for b in range(self.rank)
+            )
+            expr = f"{expr}[{index}]"
+        if expr is raw:
+            return raw
+        canon = self.ctx.fresh()
+        self.ctx.emit(f"{canon} = {expr}")
+        return canon
+
     def _emit_load(self, load: AffineLoadOp) -> None:
         ctx = self.ctx
         access = self.accesses[id(load)]
-        temp = ctx.fresh()
         mem = ctx.name(load.memref)
         if access.is_vector:
-            ctx.emit(f"{temp} = {mem}[{self._subscript(access)}]")
+            raw = ctx.fresh()
+            ctx.emit(f"{raw} = {mem}[{self._subscript(access)}]")
+            self.raw_views[id(load.results[0])] = raw
+            self.values[id(load.results[0])] = self._canonicalize(raw, access)
         else:
+            temp = ctx.fresh()
             ctx.emit(f"{temp} = {mem}[{self._subscript(access)}].item()")
-        self.values[id(load.results[0])] = (temp, access.is_vector)
+            self.values[id(load.results[0])] = temp
+
+    def _labels(self, access: _Access) -> str:
+        return "".join(_EINSUM_LETTERS[b] for b in access.sub_order)
 
     def _emit_store(self, store: AffineStoreOp) -> None:
         ctx = self.ctx
         access = self.accesses[id(store)]
         mem = ctx.name(store.memref)
-        if access.is_vector:
-            value_src, _ = self._value(store.value)
+        if not self.reduced:
+            value_src = self._value(store.value)
+            if self._vary_of(store.value):
+                # Canonical axes are band order; the target's axes are
+                # the store's subscript order.
+                perm = tuple(access.sub_order)
+                if perm != tuple(range(self.rank)):
+                    value_src = f"{value_src}.transpose({perm})"
             ctx.emit(f"{mem}[{self._subscript(access)}] = {value_src}")
             return
         update, _acc, contrib = self.reduction
-        contrib_src, contrib_vec = self._value(contrib)
-        if not contrib_vec:
-            raise EngineError(
-                "engine: internal error — scalar reduction contribution "
-                "should have bailed out during analysis"
-            )
         sign = "+" if update.name == "std.addf" else "-"
+        if self.contraction is not None:
+            contrib_src = self._emit_contraction(access)
+        else:
+            contrib_src = self._value(contrib)
+            if not self._vary_of(contrib):
+                raise EngineError(
+                    "engine: internal error — scalar reduction contribution "
+                    "should have bailed out during analysis"
+                )
+            axes = tuple(sorted(self.reduced))
+            contrib_src = f"{contrib_src}.sum(axis={axes})"
+            # Remaining axes are the kept band ivs in band order; align
+            # them to the store's subscript order.
+            kept = [b for b in range(self.rank) if b not in self.reduced]
+            perm = tuple(kept.index(b) for b in access.sub_order)
+            if perm != tuple(range(len(perm))):
+                contrib_src = f"{contrib_src}.transpose({perm})"
         subscript = self._subscript(access)
         ctx.emit(
-            f"{mem}[{subscript}] = "
-            f"{mem}[{subscript}] {sign} _np.sum({contrib_src})"
+            f"{mem}[{subscript}] = {mem}[{subscript}] {sign} {contrib_src}"
         )
+
+    def _emit_contraction(self, store_access: _Access) -> str:
+        leaves, scalars, _internal = self.contraction
+        spec = "{}->{}".format(
+            ",".join(self._labels(self.accesses[id(leaf)]) for leaf in leaves),
+            self._labels(store_access),
+        )
+        operands = ", ".join(
+            self.raw_views[id(leaf.results[0])] for leaf in leaves
+        )
+        src = f"_rt.contract({spec!r}, {operands})"
+        if scalars:
+            factors = " * ".join(self._value(value) for value in scalars)
+            src = f"(({factors}) * {src})"
+        return src

@@ -185,7 +185,15 @@ class Interpreter:
         return sum(
             count
             for name, count in self.op_counts.items()
-            if name in ("std.addf", "std.subf", "std.mulf", "std.divf", "std.maxf")
+            if name
+            in (
+                "std.addf",
+                "std.subf",
+                "std.mulf",
+                "std.divf",
+                "std.maxf",
+                "std.negf",
+            )
         )
 
 
@@ -224,6 +232,18 @@ def _make_binary_handler(func):
 def _handle_cmpi(interp, op, env) -> None:
     pred = std.CmpIOp.PREDICATES[op.predicate]
     env.set(op.results[0], bool(pred(env.get(op.operand(0)), env.get(op.operand(1)))))
+
+
+def _handle_cmpf(interp, op, env) -> None:
+    pred = std.CmpFOp.PREDICATES[op.predicate]
+    env.set(op.results[0], bool(pred(env.get(op.operand(0)), env.get(op.operand(1)))))
+
+
+def _handle_negf(interp, op, env) -> None:
+    result = -env.get(op.operand(0))
+    if str(op.results[0].type) == "f32":
+        result = float(np.float32(result))
+    env.set(op.results[0], float(result))
 
 
 def _handle_alloc(interp, op, env) -> None:
@@ -457,6 +477,8 @@ _HANDLERS = {
     "std.mulf": _make_binary_handler(lambda a, b: a * b),
     "std.divf": _make_binary_handler(lambda a, b: a / b),
     "std.maxf": _make_binary_handler(max),
+    "std.negf": _handle_negf,
+    "std.cmpf": _handle_cmpf,
     "std.addi": _make_binary_handler(lambda a, b: a + b),
     "std.subi": _make_binary_handler(lambda a, b: a - b),
     "std.muli": _make_binary_handler(lambda a, b: a * b),

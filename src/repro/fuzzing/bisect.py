@@ -22,6 +22,7 @@ from .oracle import (
     StageResult,
     check_engine_module,
     check_module,
+    check_vectorize_module,
     make_args,
     module_arg_shapes,
 )
@@ -38,7 +39,7 @@ class BisectionResult:
     #: 0-based position of the culprit in the flattened pass list.
     index: Optional[int] = None
     #: Failure kind (crash | verify | roundtrip | execute | diff |
-    #: engine | engine-diff).
+    #: engine | engine-diff | vectorize | vectorize-diff).
     kind: str = ""
     detail: str = ""
 
@@ -64,6 +65,7 @@ def bisect_pipeline(
     rtol: float = 2e-3,
     max_steps: int = 20_000_000,
     check_engine: bool = True,
+    check_vectorize: bool = True,
 ) -> BisectionResult:
     """Replay ``pipeline`` pass-by-pass over a C source (str) or a
     pristine module (ModuleOp) and locate the first breaking pass."""
@@ -146,6 +148,24 @@ def bisect_pipeline(
                     index=position,
                     kind=engine_result.kind,
                     detail=engine_result.detail,
+                )
+        if check_vectorize:
+            vec_result = check_vectorize_module(
+                module,
+                func_name,
+                base_args,
+                outputs,
+                stage_name,
+                pipeline_name=pipeline.name,
+                rtol=rtol,
+            )
+            if not vec_result.ok:
+                return BisectionResult(
+                    culprit_pass=pass_name,
+                    stage=stage_name,
+                    index=position,
+                    kind=vec_result.kind,
+                    detail=vec_result.detail,
                 )
     return BisectionResult(culprit_pass=None)
 

@@ -119,6 +119,7 @@ class FuzzCampaign:
         extra_pipelines: Optional[Dict[str, Pipeline]] = None,
         check_engine: bool = True,
         check_drivers: bool = True,
+        check_vectorize: bool = True,
     ):
         self.out_dir = out_dir
         self.rtol = rtol
@@ -126,6 +127,7 @@ class FuzzCampaign:
         self.check_modules = check_modules
         self.check_engine = check_engine
         self.check_drivers = check_drivers
+        self.check_vectorize = check_vectorize
         self.write_artifacts = write_artifacts
         registry = build_pipelines(fuzz_tile_size)
         if extra_pipelines:
@@ -181,6 +183,7 @@ class FuzzCampaign:
                 rtol=self.rtol,
                 max_steps=self.max_steps,
                 check_engine=self.check_engine,
+                check_vectorize=self.check_vectorize,
             )
             stats.checks += 1
             stats.stages_checked += len(report.stages)
@@ -218,6 +221,7 @@ class FuzzCampaign:
                     rtol=self.rtol,
                     max_steps=self.max_steps,
                     check_engine=self.check_engine,
+                    check_vectorize=self.check_vectorize,
                 )
                 stats.checks += 1
                 stats.stages_checked += len(report.stages)
@@ -355,6 +359,7 @@ class FuzzCampaign:
             rtol=self.rtol,
             max_steps=self.max_steps,
             check_engine=self.check_engine,
+            check_vectorize=self.check_vectorize,
         )
 
         def still_fails(candidate: str) -> bool:
@@ -366,6 +371,7 @@ class FuzzCampaign:
                 rtol=self.rtol,
                 max_steps=self.max_steps,
                 check_engine=self.check_engine,
+                check_vectorize=self.check_vectorize,
             )
             failure = candidate_report.first_failure
             original = report.first_failure
@@ -399,6 +405,7 @@ class FuzzCampaign:
             rtol=self.rtol,
             max_steps=self.max_steps,
             check_engine=self.check_engine,
+            check_vectorize=self.check_vectorize,
         )
         failure = FuzzFailure(
             seed=seed,

@@ -384,6 +384,24 @@ def generate_affine_module(seed: int) -> GeneratedModule:
         )
         kind = rng.choice([std.AddFOp, std.MulFOp, std.SubFOp, std.MaxFOp])
         value = body.insert(kind.create(value, constant.result)).result
+    if rng.random() < 0.25:
+        value = body.insert(std.NegFOp.create(value)).result
+    if rng.random() < 0.25:
+        # A cmpf+select clamp (the min/max idiom the vectorizer lowers
+        # to np.where): value <pred> c ? value : c.
+        constant = body.insert(
+            std.ConstantOp.create(round(rng.uniform(-2, 2), 3), f32)
+        )
+        compare = body.insert(
+            std.CmpFOp.create(
+                rng.choice(["olt", "ole", "ogt", "oge"]),
+                value,
+                constant.result,
+            )
+        )
+        value = body.insert(
+            std.SelectOp.create(compare.result, value, constant.result)
+        ).result
     store_pos = rng.randrange(depth)
     coeff = rng.randint(1, 4)
     const = rng.randint(0, 8)

@@ -13,7 +13,13 @@ stage*, and after every stage checks the module snapshot three ways:
    with the interpreter on the same snapshot (reported as a separate
    ``engine-diff:<stage>`` result; disable with ``check_engine=False``
    or ``mlt-fuzz --no-engine-diff``);
-5. **driver-diff** — the worklist and snapshot greedy pattern drivers
+5. **vectorize-diff** — the engine compiled with whole-nest
+   vectorization (``vectorize="nest"``) and with vectorization fully
+   disabled (``vectorize="none"``, plain scalar loops) must agree with
+   each other and with the interpreter on the same snapshot (reported
+   as ``vectorize-diff:<stage>``; disable with
+   ``check_vectorize=False`` or ``mlt-fuzz --no-vectorize-diff``);
+6. **driver-diff** — the worklist and snapshot greedy pattern drivers
    must produce byte-identical printed IR for the whole pipeline
    (:func:`check_driver_equivalence`; disable with
    ``check_drivers=False`` or ``mlt-fuzz --no-driver-diff``).
@@ -163,7 +169,7 @@ class StageResult:
     stage: str
     ok: bool
     # ok | crash | verify | roundtrip | execute | diff | engine |
-    # engine-diff | driver-diff
+    # engine-diff | vectorize | vectorize-diff | driver-diff
     kind: str = "ok"
     detail: str = ""
     ir_text: str = ""
@@ -337,6 +343,71 @@ def check_engine_module(
     return StageResult(result_name, True, "ok", "", ir_text)
 
 
+def check_vectorize_module(
+    module: ModuleOp,
+    func_name: str,
+    base_args: Sequence[np.ndarray],
+    interpreter_outputs: Sequence[np.ndarray],
+    stage_name: str,
+    pipeline_name: str = "",
+    rtol: float = 2e-3,
+    ir_text: str = "",
+) -> StageResult:
+    """Cross-check the engine's vectorizer against its own scalar mode.
+
+    Compiles the snapshot twice — once with whole-nest vectorization
+    (``vectorize="nest"``, the production default) and once with
+    vectorization fully disabled (``vectorize="none"``, plain scalar
+    Python loops) — and requires both to match the interpreter and each
+    other within ``rtol``.  Bit-for-bit equality is deliberately not
+    required: collapsing a reduction loop to ``sum``/``einsum``
+    reassociates f32 adds, which is the same tolerance the execution
+    oracle already grants raised pipelines.
+    """
+    from ..execution import ExecutionEngine
+
+    result_name = f"vectorize-diff:{stage_name}"
+    outputs: Dict[str, List[np.ndarray]] = {}
+    for mode in ("none", "nest"):
+        try:
+            args = [a.copy() for a in base_args]
+            engine = ExecutionEngine(
+                module,
+                pipeline=f"{pipeline_name}:{stage_name}",
+                vectorize=mode,
+            )
+            engine.run(func_name, *args)
+        except Exception as exc:
+            return StageResult(
+                result_name,
+                False,
+                "vectorize",
+                f"mode={mode}: {exc}",
+                ir_text,
+            )
+        outputs[mode] = args
+    for mode in ("none", "nest"):
+        detail = _diff_detail(interpreter_outputs, outputs[mode], rtol)
+        if detail:
+            return StageResult(
+                result_name,
+                False,
+                "vectorize-diff",
+                f"mode={mode} vs interpreter: {detail}",
+                ir_text,
+            )
+    detail = _diff_detail(outputs["none"], outputs["nest"], rtol)
+    if detail:
+        return StageResult(
+            result_name,
+            False,
+            "vectorize-diff",
+            f"none vs nest: {detail}",
+            ir_text,
+        )
+    return StageResult(result_name, True, "ok", "", ir_text)
+
+
 def check_driver_equivalence(
     module: ModuleOp, pipeline: Pipeline
 ) -> StageResult:
@@ -399,6 +470,7 @@ def run_oracle(
     rtol: float = 2e-3,
     max_steps: int = 20_000_000,
     check_engine: bool = True,
+    check_vectorize: bool = True,
 ) -> OracleReport:
     """Differentially test one C kernel against one pipeline."""
     report = OracleReport(pipeline.name, func_name)
@@ -413,7 +485,7 @@ def run_oracle(
         return report
     return _drive_stages(
         report, module, pipeline, func_name, seed, rtol, max_steps,
-        check_engine=check_engine,
+        check_engine=check_engine, check_vectorize=check_vectorize,
     )
 
 
@@ -425,12 +497,13 @@ def run_oracle_on_module(
     rtol: float = 2e-3,
     max_steps: int = 20_000_000,
     check_engine: bool = True,
+    check_vectorize: bool = True,
 ) -> OracleReport:
     """Differentially test a builder-constructed module (skips MET)."""
     report = OracleReport(pipeline.name, func_name)
     return _drive_stages(
         report, module.clone(), pipeline, func_name, seed, rtol, max_steps,
-        check_engine=check_engine,
+        check_engine=check_engine, check_vectorize=check_vectorize,
     )
 
 
@@ -443,6 +516,7 @@ def _drive_stages(
     rtol: float,
     max_steps: int,
     check_engine: bool = True,
+    check_vectorize: bool = True,
 ) -> OracleReport:
     shapes = module_arg_shapes(module, func_name)
     base_args = make_args(shapes, seed)
@@ -481,6 +555,20 @@ def _drive_stages(
             )
             report.stages.append(engine_result)
             if not engine_result.ok:
+                return report
+        if check_vectorize:
+            vec_result = check_vectorize_module(
+                module,
+                func_name,
+                base_args,
+                outputs,
+                stage.name,
+                pipeline_name=pipeline.name,
+                rtol=rtol,
+                ir_text=result.ir_text,
+            )
+            report.stages.append(vec_result)
+            if not vec_result.ok:
                 return report
         if reference is None:
             reference = outputs

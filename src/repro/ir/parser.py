@@ -528,9 +528,10 @@ def _parse_binary_arith(p: Parser, region) -> Operation:
 
 
 def _parse_cmpi(p: Parser, region) -> Operation:
-    from ..dialects.std import CmpIOp
+    from ..dialects.std import CmpFOp, CmpIOp
 
-    p.expect("std.cmpi")
+    cls = CmpFOp if p.peek().text == "std.cmpf" else CmpIOp
+    p.expect(cls.OP_NAME)
     pred = _unquote(p.expect_kind("STRING").text)
     p.expect(",")
     lhs = p.parse_ssa_use()
@@ -538,7 +539,17 @@ def _parse_cmpi(p: Parser, region) -> Operation:
     rhs = p.parse_ssa_use()
     p.expect(":")
     p.parse_type()
-    return CmpIOp.create(pred, lhs, rhs)
+    return cls.create(pred, lhs, rhs)
+
+
+def _parse_negf(p: Parser, region) -> Operation:
+    from ..dialects.std import NegFOp
+
+    p.expect("std.negf")
+    value = p.parse_ssa_use()
+    p.expect(":")
+    p.parse_type()
+    return NegFOp.create(value)
 
 
 def _parse_affine_bound(p: Parser) -> Tuple:
@@ -816,6 +827,8 @@ _CUSTOM_PARSERS = {
     "return": _parse_return,
     "std.constant": _parse_constant,
     "std.cmpi": _parse_cmpi,
+    "std.cmpf": _parse_cmpi,
+    "std.negf": _parse_negf,
     "affine.for": _parse_affine_for,
     "affine.load": _parse_affine_load,
     "affine.store": _parse_affine_store,

@@ -214,8 +214,15 @@ def _print_cmpi(printer: Printer, op: Operation) -> None:
     lhs, rhs = op.operands
     pred = op.attributes["predicate"].value
     printer.emit(
-        f"{printer._results_prefix(op)}std.cmpi \"{pred}\", "
+        f"{printer._results_prefix(op)}{op.name} \"{pred}\", "
         f"{printer.namer(lhs)}, {printer.namer(rhs)} : {lhs.type}"
+    )
+
+
+def _print_negf(printer: Printer, op: Operation) -> None:
+    printer.emit(
+        f"{printer._results_prefix(op)}std.negf "
+        f"{printer.namer(op.operand(0))} : {op.results[0].type}"
     )
 
 
@@ -368,6 +375,8 @@ _CUSTOM_PRINTERS = {
     "std.divi": _print_binary_arith,
     "std.remi": _print_binary_arith,
     "std.cmpi": _print_cmpi,
+    "std.cmpf": _print_cmpi,
+    "std.negf": _print_negf,
     "affine.for": _print_affine_for,
     "affine.load": _print_affine_load,
     "affine.store": _print_affine_store,

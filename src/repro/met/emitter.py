@@ -143,7 +143,9 @@ class _FunctionEmitter:
             op_cls = {"+=": std.AddFOp, "-=": std.SubFOp, "*=": std.MulFOp}[
                 stmt.op
             ]
-            rhs = builder.insert(op_cls.create(rhs, current)).result
+            # current first: ``a -= b`` is ``a = a - b``, and subf is
+            # not commutative.
+            rhs = builder.insert(op_cls.create(current, rhs)).result
         builder.insert(
             affine_d.AffineStoreOp.create(rhs, memref, operands, access_map)
         )

@@ -204,6 +204,13 @@ def main(argv: List[str] = None) -> int:
         help="RNG seed for --execute input buffers",
     )
     parser.add_argument(
+        "--engine-stats",
+        action="store_true",
+        help="with --execute --engine compiled: print the vectorizer's "
+        "codegen decisions (collapsed/partial/bailed nests, recognized "
+        "contractions, LICM hoists, bail reasons) to stderr",
+    )
+    parser.add_argument(
         "-o", "--output", default="-", help="output file (default stdout)"
     )
     args = parser.parse_args(rest)
@@ -251,10 +258,21 @@ def main(argv: List[str] = None) -> int:
             )
     if args.execute:
         try:
-            _execute_module(module, args.execute, args.engine, args.exec_seed)
+            _execute_module(
+                module,
+                args.execute,
+                args.engine,
+                args.exec_seed,
+                engine_stats=args.engine_stats,
+            )
         except Exception as exc:
             sys.stderr.write(f"mlt-opt: --execute: {exc}\n")
             return 1
+    elif args.engine_stats:
+        sys.stderr.write(
+            "mlt-opt: --engine-stats needs --execute FUNC "
+            "--engine compiled\n"
+        )
     if args.cache_stats:
         _print_cache_stats()
     return 0
@@ -321,7 +339,11 @@ def _batch_main(args, pass_names: List[str]) -> int:
 
 
 def _execute_module(
-    module: ModuleOp, func_name: str, engine: str, seed: int
+    module: ModuleOp,
+    func_name: str,
+    engine: str,
+    seed: int,
+    engine_stats: bool = False,
 ) -> None:
     """Run one function on deterministic random inputs and report a
     checksum per output buffer (the two --engine backends must print
@@ -333,11 +355,30 @@ def _execute_module(
     if engine == "compiled":
         from .execution import ExecutionEngine
 
-        ExecutionEngine(module, pipeline="mlt-opt").run(func_name, *args)
+        compiled = ExecutionEngine(module, pipeline="mlt-opt")
+        compiled.run(func_name, *args)
+        if engine_stats:
+            import json
+
+            stats = compiled.vectorize_stats
+            sys.stderr.write(
+                "mlt-opt: vectorize stats: "
+                + (
+                    json.dumps(stats, sort_keys=True)
+                    if stats is not None
+                    else "unavailable (kernel from a pre-stats artifact)"
+                )
+                + "\n"
+            )
     else:
         from .execution import Interpreter
 
         Interpreter(module).run(func_name, *args)
+        if engine_stats:
+            sys.stderr.write(
+                "mlt-opt: --engine-stats: interpreter backend has no "
+                "vectorizer; use --engine compiled\n"
+            )
     for pos, buf in enumerate(args):
         sys.stderr.write(
             f"@{func_name} arg {pos}: shape={tuple(buf.shape)} "
@@ -426,6 +467,11 @@ def fuzz_main(argv: List[str] = None) -> int:
         action="store_true",
         help="skip the worklist-vs-snapshot pattern-driver IR diff",
     )
+    parser.add_argument(
+        "--no-vectorize-diff",
+        action="store_true",
+        help="skip the whole-nest-vectorized vs scalar engine cross-check",
+    )
     args = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
 
     pipelines = args.pipelines.split(",") if args.pipelines else None
@@ -437,6 +483,7 @@ def fuzz_main(argv: List[str] = None) -> int:
         write_artifacts=not args.no_artifacts,
         check_engine=not args.no_engine_diff,
         check_drivers=not args.no_driver_diff,
+        check_vectorize=not args.no_vectorize_diff,
     )
     try:
         campaign = FuzzCampaign(**campaign_config)

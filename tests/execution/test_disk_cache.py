@@ -142,8 +142,10 @@ class TestPruning:
         disk = DiskKernelCache(str(tmp_path))
         disk.store_text("a" * 64, "x" * 100)
         # Bound the cache to one artifact; a second, same-size write
-        # must push the older artifact out.
-        disk.max_bytes = disk.total_bytes() + 1
+        # must push the older artifact out.  The slack absorbs the
+        # few-byte size jitter from the float repr of the ``created``
+        # timestamp inside the artifact JSON.
+        disk.max_bytes = disk.total_bytes() + 32
         os.utime(disk.artifact_path("a" * 64), (1, 1))
         disk.store_text("b" * 64, "y" * 100)
         assert disk.load_text("a" * 64) is None
@@ -154,8 +156,9 @@ class TestPruning:
         disk = DiskKernelCache(str(tmp_path))
         disk.store_text("a" * 64, "x" * 100)
         disk.store_text("b" * 64, "y" * 100)
-        # Room for exactly two artifacts.
-        disk.max_bytes = disk.total_bytes() + 1
+        # Room for exactly two artifacts (with slack for the ``created``
+        # timestamp's float-repr size jitter).
+        disk.max_bytes = disk.total_bytes() + 32
         os.utime(disk.artifact_path("a" * 64), (1, 1))
         os.utime(disk.artifact_path("b" * 64), (2, 2))
         # Touch "a": its mtime refresh must protect it from pruning —

@@ -60,8 +60,9 @@ def _run_both(module, func_name, seed=0, pipeline=""):
 class TestBasicAgreement:
     def test_gemm_matches_interpreter(self):
         engine = _run_both(compile_c(GEMM), "gemm")
-        # The k-loop is a recognizable reduction — it must vectorize.
-        assert "_np.sum" in engine.source
+        # The whole ijk nest is a recognizable contraction — it must
+        # collapse into one BLAS-backed contraction call.
+        assert "_rt.contract" in engine.source
 
     def test_stencil_matches_interpreter(self):
         engine = _run_both(compile_c(STENCIL), "stencil")

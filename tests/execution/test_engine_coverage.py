@@ -42,6 +42,44 @@ class TestEmitterCoverage:
         assert not gap, f"interpreted ops the engine cannot compile: {gap}"
 
 
+class TestVectorizerSafeSetAudit:
+    """Joint audit of the three op tables that must stay in sync: the
+    vectorizer's SAFE_OPS, the engine's EMITTERS, and the interpreter's
+    handlers.  An op the vectorizer accepts into a collapsed band must
+    also be scalar-compilable (fallback path) and interpretable (the
+    vectorize-diff oracle's reference)."""
+
+    def test_safe_ops_are_registered(self):
+        from repro.execution.engine.vectorize import SAFE_OPS
+
+        unknown = set(SAFE_OPS) - set(OP_REGISTRY)
+        assert not unknown, f"SAFE_OPS not in any dialect: {sorted(unknown)}"
+
+    def test_safe_ops_have_scalar_emitters(self):
+        from repro.execution.engine.vectorize import SAFE_OPS
+
+        missing = set(SAFE_OPS) - set(EMITTERS)
+        assert not missing, (
+            f"vectorizer-safe ops the scalar engine cannot compile "
+            f"(the bail fallback would crash): {sorted(missing)}"
+        )
+
+    def test_safe_ops_have_interpreter_handlers(self):
+        from repro.execution.engine.vectorize import SAFE_OPS
+
+        missing = set(SAFE_OPS) - set(_HANDLERS)
+        assert not missing, (
+            f"vectorizer-safe ops the interpreter cannot execute "
+            f"(vectorize-diff has no reference): {sorted(missing)}"
+        )
+
+    def test_widened_safe_set_members(self):
+        """The negation and min/max-idiom ops are part of the safe set."""
+        from repro.execution.engine.vectorize import SAFE_OPS
+
+        assert {"std.negf", "std.cmpf", "std.select"} <= SAFE_OPS
+
+
 class TestUnknownOpDiagnostic:
     def test_unregistered_op_fails_with_one_line_engine_error(self):
         module = ModuleOp.create()
