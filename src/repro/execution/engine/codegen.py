@@ -44,6 +44,12 @@ MAX_CFG_STEPS = 10_000_000
 #: oracle's reference).
 VECTORIZE_MODES = ("nest", "innermost", "none")
 
+#: Codegen schema version, folded into every kernel cache key.  Bump on
+#: any change to generated-source semantics (vectorizer strategy,
+#: emitter output, runtime helper contracts) so persistent disk caches
+#: written by an older code generator are never re-served.
+CODEGEN_VERSION = 2
+
 
 def _np_dtype_literal(elem_type) -> str:
     if isinstance(elem_type, F64Type):

@@ -15,7 +15,12 @@ import numpy as np
 
 from ...ir import ModuleOp, MemRefType
 from .cache import KERNEL_CACHE, KernelCache
-from .codegen import VECTORIZE_MODES, CompiledModule, compile_module
+from .codegen import (
+    CODEGEN_VERSION,
+    VECTORIZE_MODES,
+    CompiledModule,
+    compile_module,
+)
 from .runtime import EngineError
 
 
@@ -25,10 +30,12 @@ class ExecutionEngine:
     Construction triggers codegen (or a cache hit); ``run`` is then a
     plain Python call into the compiled kernel.  ``pipeline`` is folded
     into the cache key so the same kernel lowered by two different
-    pipelines never collides; a non-default ``vectorize`` mode (see
-    :data:`~.codegen.VECTORIZE_MODES`) is folded in too, so the
+    pipelines never collides; the ``vectorize`` mode (see
+    :data:`~.codegen.VECTORIZE_MODES`) and
+    :data:`~.codegen.CODEGEN_VERSION` are folded in too, so the
     ``vectorize-diff`` oracle and the mode-comparison benchmarks never
-    share kernels across modes.
+    share kernels across modes and a code-generator upgrade never
+    re-serves kernels from a stale persistent cache.
     """
 
     def __init__(
@@ -47,10 +54,11 @@ class ExecutionEngine:
         self.pipeline = pipeline
         self.vectorize = vectorize
         self.cache = cache if cache is not None else KERNEL_CACHE
+        # The codegen version and vectorize mode are folded in
+        # unconditionally so persistent disk caches written by an older
+        # code generator (or another mode) never serve stale kernels.
         cache_tag = (
-            pipeline
-            if vectorize == "nest"
-            else f"{pipeline}#vectorize={vectorize}"
+            f"{pipeline}#cg={CODEGEN_VERSION}#vectorize={vectorize}"
         )
         self.compiled: CompiledModule = self.cache.get_or_compile(
             module,

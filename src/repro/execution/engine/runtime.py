@@ -75,7 +75,10 @@ def contract(spec, *operands):
         shared = set(a_spec) & set(b_spec)
         summed = [c for c in a_spec if c in shared and c not in out]
         batch = [c for c in shared if c in out]
-        if summed and not batch:
+        # tensordot only sums labels shared by both inputs; a contracted
+        # label present in just one input must go through einsum.
+        one_sided = set(a_spec) ^ set(b_spec)
+        if summed and not batch and one_sided <= set(out):
             result = np.tensordot(
                 a,
                 b,

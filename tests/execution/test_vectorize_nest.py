@@ -172,6 +172,20 @@ class TestContractionRecognition:
         source = generate_module_source(module)
         assert "_rt.contract" in source
 
+    def test_full_reduction_with_one_sided_label(self):
+        # out[0] += A[i][j] * B[i]: label j is summed but appears in
+        # only one operand, so the runtime must not take the tensordot
+        # fast path (regression: it used to return a wrong-rank array).
+        src = """
+        void red(float A[4][5], float B[4], float out[1]) {
+          for (int i = 0; i < 4; i++)
+            for (int j = 0; j < 5; j++)
+              out[0] += A[i][j] * B[i];
+        }
+        """
+        module = compile_c(src)
+        _check_all_modes(module, "red")
+
     def test_innermost_mode_never_emits_contract(self):
         from repro.evaluation.kernels import gemm_source
 
@@ -211,6 +225,26 @@ class TestRuntimeContract:
         np.testing.assert_allclose(
             contract("ac,cb->ba", a, b),
             np.einsum("ac,cb->ba", a, b),
+            rtol=RTOL,
+        )
+
+    def test_one_sided_summed_label_falls_back_to_einsum(self):
+        # 'b' is contracted but appears only in the first operand;
+        # tensordot cannot sum it, so contract() must route to einsum
+        # instead of returning a wrong-rank array.
+        from repro.execution.engine.runtime import contract
+
+        rng = np.random.default_rng(3)
+        a = rng.random((3, 4), dtype=np.float32)
+        b = rng.random(3, dtype=np.float32)
+        np.testing.assert_allclose(
+            contract("ab,a->", a, b),
+            np.einsum("ab,a->", a, b),
+            rtol=RTOL,
+        )
+        np.testing.assert_allclose(
+            contract("ab,a->a", a, b),
+            np.einsum("ab,a->a", a, b),
             rtol=RTOL,
         )
 
