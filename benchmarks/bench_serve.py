@@ -1,0 +1,350 @@
+"""Serving benchmark: latency and throughput of the compile service.
+
+Measures the compilation-as-a-service front-end
+(:mod:`repro.serving`) under a synthetic many-client load and prices
+its overhead against the bare in-process call it wraps:
+
+* **bare** — ``serve_unit`` called directly in a loop: the floor.
+  Everything the server adds (socket, JSON framing, task scheduling,
+  coalescing bookkeeping) shows up as the gap to this number.
+* **cold burst** — N concurrent clients all requesting the corpus
+  kernels against an empty cache: exercises admission control and
+  coalescing (identical requests must collapse to one codegen each).
+* **warm burst** — the same load again: every request is a hot-map or
+  cache hit, which is the steady-state a long-lived service lives in.
+  Burst latencies are closed-loop (all requests queued at once), so
+  they measure time-in-queue under saturation, not service time.
+* **warm sequential** — one client, one request at a time: the
+  contention-free warm latency, which is the number the p50-vs-bare
+  budget is asserted on.
+
+Reports p50/p95/p99 per-request latency and aggregate throughput to
+``benchmarks/results/BENCH_serve.json`` and asserts the serving
+acceptance bar: warm p50 within ``WARM_P50_BUDGET``× of the bare
+call.
+
+Runnable standalone (the serve-smoke CI entry point)::
+
+    PYTHONPATH=src python -m benchmarks.bench_serve --requests 1000
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import gc
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+from typing import Dict, List
+
+from benchmarks.harness import format_table, report, report_json
+
+#: Acceptance bar: a warm served request (socket + JSON + scheduling +
+#: hot-map execute) must cost less than this many bare in-process
+#: calls.  The issue's budget is 10x; the hot-kernel map keeps real
+#: numbers far below it.
+WARM_P50_BUDGET = 10.0
+
+DEFAULT_KERNELS = ("gemm", "atax", "bicg", "mvt")
+DEFAULT_PIPELINE = "mlt-blas"
+
+
+def _percentiles(samples: List[float]) -> Dict[str, float]:
+    ordered = sorted(samples)
+
+    def pct(p: float) -> float:
+        if not ordered:
+            return 0.0
+        index = min(len(ordered) - 1, int(round(p * (len(ordered) - 1))))
+        return ordered[index]
+
+    return {
+        "p50_ms": pct(0.50) * 1e3,
+        "p95_ms": pct(0.95) * 1e3,
+        "p99_ms": pct(0.99) * 1e3,
+        "mean_ms": statistics.fmean(ordered) * 1e3 if ordered else 0.0,
+        "max_ms": max(ordered) * 1e3 if ordered else 0.0,
+    }
+
+
+def measure_bare(kernels, pipeline: str, cache_dir: str, runs: int):
+    """Floor: the in-process unit call the server wraps, cache-warm."""
+    from repro.serving.units import (
+        configure_serving,
+        normalize_request,
+        reset_serving_state,
+        serve_unit,
+    )
+
+    reset_serving_state()
+    configure_serving(cache_dir)
+    specs = [
+        normalize_request(
+            {"op": "execute", "kernel": name, "pipeline": pipeline}
+        )
+        for name in kernels
+    ]
+    for spec in specs:  # warm caches and the hot map
+        serve_unit(spec)
+    samples = []
+    for i in range(runs):
+        spec = specs[i % len(specs)]
+        start = time.perf_counter()
+        serve_unit(spec)
+        samples.append(time.perf_counter() - start)
+    reset_serving_state()
+    return _percentiles(samples)
+
+
+async def _burst(
+    client_count: int,
+    requests,
+    port: int,
+) -> Dict[str, object]:
+    """Fan ``requests`` over ``client_count`` concurrent connections."""
+    from repro.serving import ServeClient
+
+    clients = await asyncio.gather(
+        *[
+            ServeClient.connect_tcp("127.0.0.1", port)
+            for _ in range(client_count)
+        ]
+    )
+    samples: List[float] = []
+    outcomes = {"ok": 0, "coalesced": 0, "shed": 0, "failed": 0}
+
+    async def one(client, request):
+        start = time.perf_counter()
+        response = await client.request(request)
+        samples.append(time.perf_counter() - start)
+        if response.get("ok"):
+            outcomes["ok"] += 1
+            if response.get("coalesced"):
+                outcomes["coalesced"] += 1
+        elif response.get("code") == "overloaded":
+            outcomes["shed"] += 1
+        else:
+            outcomes["failed"] += 1
+
+    start = time.perf_counter()
+    await asyncio.gather(
+        *[
+            one(clients[i % client_count], request)
+            for i, request in enumerate(requests)
+        ]
+    )
+    wall = time.perf_counter() - start
+    for client in clients:
+        await client.close()
+    result = dict(_percentiles(samples))
+    result.update(outcomes)
+    result["requests"] = len(requests)
+    result["wall_s"] = wall
+    result["throughput_rps"] = len(requests) / wall if wall else 0.0
+    return result
+
+
+async def _sequential(requests, port: int) -> Dict[str, object]:
+    """One client, one request at a time: contention-free latency."""
+    from repro.serving import ServeClient
+
+    client = await ServeClient.connect_tcp("127.0.0.1", port)
+    samples: List[float] = []
+    failed = 0
+    start = time.perf_counter()
+    for request in requests:
+        t0 = time.perf_counter()
+        response = await client.request(request)
+        samples.append(time.perf_counter() - t0)
+        if not response.get("ok"):
+            failed += 1
+    wall = time.perf_counter() - start
+    await client.close()
+    result = dict(_percentiles(samples))
+    result["requests"] = len(requests)
+    result["failed"] = failed
+    result["wall_s"] = wall
+    result["throughput_rps"] = len(requests) / wall if wall else 0.0
+    return result
+
+
+async def run_serve_bench(
+    requests: int = 1000,
+    clients: int = 32,
+    jobs: int = 0,
+    kernels=DEFAULT_KERNELS,
+    pipeline: str = DEFAULT_PIPELINE,
+    cache_dir: str = None,
+    max_pending: int = 4096,
+) -> dict:
+    from repro.serving import CompileServer, ServerConfig
+
+    owned_tmp = cache_dir is None
+    if owned_tmp:
+        cache_dir = tempfile.mkdtemp(prefix="mlt-bench-serve-")
+    try:
+        bare = measure_bare(
+            kernels, pipeline, cache_dir + "-bare", min(requests, 200)
+        )
+
+        server = CompileServer(
+            ServerConfig(
+                cache_dir=cache_dir, jobs=jobs, max_pending=max_pending
+            )
+        )
+        await server.start_tcp()
+        port = server.port()
+
+        load = [
+            {
+                "op": "execute",
+                "kernel": kernels[i % len(kernels)],
+                "pipeline": pipeline,
+                "seed": 0,
+            }
+            for i in range(requests)
+        ]
+        cold = await _burst(clients, load, port)
+        gc.collect()  # keep burst garbage out of the latency phases
+        warm_seq = await _sequential(load[: min(requests, 500)], port)
+        gc.collect()
+        warm = await _burst(clients, load, port)
+
+        stats = server.stats()
+        await server.shutdown()
+
+        summary = {
+            "requests": requests,
+            "clients": clients,
+            "jobs": jobs,
+            "kernels": list(kernels),
+            "pipeline": pipeline,
+            "bare_p50_ms": bare["p50_ms"],
+            "warm_seq_p50_over_bare": (
+                warm_seq["p50_ms"] / bare["p50_ms"]
+                if bare["p50_ms"]
+                else 0.0
+            ),
+            "warm_p50_budget": WARM_P50_BUDGET,
+            "server_counters": stats["counters"],
+        }
+        return {
+            "bare": bare,
+            "cold": cold,
+            "warm": warm,
+            "warm_seq": warm_seq,
+            "summary": summary,
+        }
+    finally:
+        if owned_tmp:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+            shutil.rmtree(cache_dir + "-bare", ignore_errors=True)
+
+
+def render(results: dict) -> str:
+    rows = []
+    for phase in ("bare", "cold", "warm", "warm_seq"):
+        data = results[phase]
+        rows.append(
+            [
+                phase,
+                data.get("requests", "-"),
+                data["p50_ms"],
+                data["p95_ms"],
+                data["p99_ms"],
+                data.get("throughput_rps", "-"),
+                data.get("coalesced", "-"),
+                data.get("shed", "-"),
+            ]
+        )
+    summary = results["summary"]
+    table = format_table(
+        "Compile service latency/throughput "
+        f"(jobs={summary['jobs']}, {summary['clients']} clients)",
+        [
+            "phase",
+            "requests",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "req/s",
+            "coalesced",
+            "shed",
+        ],
+        rows,
+    )
+    return (
+        table
+        + "\n\nwarm sequential p50 / bare p50 = "
+        + f"{summary['warm_seq_p50_over_bare']:.2f}x "
+        + f"(budget {summary['warm_p50_budget']:.0f}x)"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_serve", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--requests", type=int, default=1000)
+    parser.add_argument("--clients", type=int, default=32)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="0 = inline serving; N>0 = persistent pool batching",
+    )
+    parser.add_argument("--pipeline", default=DEFAULT_PIPELINE)
+    parser.add_argument(
+        "--kernels", default=",".join(DEFAULT_KERNELS)
+    )
+    parser.add_argument("--cache-dir", default=None)
+    args = parser.parse_args(argv)
+
+    results = asyncio.run(
+        run_serve_bench(
+            requests=args.requests,
+            clients=args.clients,
+            jobs=args.jobs,
+            kernels=tuple(filter(None, args.kernels.split(","))),
+            pipeline=args.pipeline,
+            cache_dir=args.cache_dir,
+        )
+    )
+    report("serve_measured", render(results))
+    report_json("BENCH_serve", results)
+
+    summary = results["summary"]
+    failures = []
+    if (
+        results["cold"]["failed"]
+        or results["warm"]["failed"]
+        or results["warm_seq"]["failed"]
+    ):
+        failures.append(
+            f"requests failed: cold={results['cold']['failed']} "
+            f"warm={results['warm']['failed']} "
+            f"warm_seq={results['warm_seq']['failed']}"
+        )
+    # The latency budget is an *inline-serving* bar: pool mode
+    # deliberately trades per-request latency (batch window + IPC)
+    # for parallel throughput, so the ratio is only asserted when the
+    # server runs units in-process.
+    if (
+        args.jobs == 0
+        and summary["warm_seq_p50_over_bare"] >= WARM_P50_BUDGET
+    ):
+        failures.append(
+            "warm sequential p50 is "
+            f"{summary['warm_seq_p50_over_bare']:.1f}x the bare call "
+            f"(budget {WARM_P50_BUDGET:.0f}x)"
+        )
+    for failure in failures:
+        sys.stderr.write(f"bench_serve: FAIL: {failure}\n")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,8 +28,9 @@ mutates IR directly after a PassManager run must call
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ...ir import ModuleOp, print_module
@@ -37,6 +38,15 @@ from ...ir import ModuleOp, print_module
 
 @dataclass
 class CacheStats:
+    """Counter block shared by both cache tiers.
+
+    Engines, the serving front-end and its executor threads all bump
+    the same instance concurrently, so every mutation goes through
+    :meth:`bump` under a lock — a bare ``stats.hits += 1`` from two
+    threads can lose increments, and the serve benchmarks assert
+    *exact* counts.
+    """
+
     hits: int = 0
     misses: int = 0
     #: Number of full codegen+compile invocations (== full misses unless
@@ -48,16 +58,26 @@ class CacheStats:
     #: the disk tier) written into and read out of this tier.
     bytes_written: int = 0
     bytes_read: int = 0
+    _lock: threading.Lock = field(
+        init=False, repr=False, compare=False, default_factory=threading.Lock
+    )
+
+    def bump(self, **deltas: int) -> None:
+        """Atomically add ``deltas`` to the named counters."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
 
     def snapshot(self) -> dict:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "codegen_count": self.codegen_count,
-            "evictions": self.evictions,
-            "bytes_written": self.bytes_written,
-            "bytes_read": self.bytes_read,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "codegen_count": self.codegen_count,
+                "evictions": self.evictions,
+                "bytes_written": self.bytes_written,
+                "bytes_read": self.bytes_read,
+            }
 
 
 def fingerprint_module(module: ModuleOp) -> str:
@@ -88,6 +108,10 @@ class KernelCache:
             raise ValueError("kernel cache needs at least one slot")
         self.max_entries = max_entries
         self._store: "OrderedDict[str, object]" = OrderedDict()
+        # The store is mutated from engine calls, serving executor
+        # threads and the pool bridge concurrently; every structural
+        # operation holds this lock (stats have their own).
+        self._store_lock = threading.RLock()
         self.stats = CacheStats()
         self.disk = disk
 
@@ -117,17 +141,22 @@ class KernelCache:
 
     def get(self, key: str) -> Optional[object]:
         """LRU read: a hit moves the entry to most-recently-used."""
-        entry = self._store.get(key)
-        if entry is not None:
-            self._store.move_to_end(key)
-        return entry
+        with self._store_lock:
+            entry = self._store.get(key)
+            if entry is not None:
+                self._store.move_to_end(key)
+            return entry
 
     def put(self, key: str, compiled: object) -> None:
-        self._store[key] = compiled
-        self._store.move_to_end(key)
-        while len(self._store) > self.max_entries:
-            self._store.popitem(last=False)
-            self.stats.evictions += 1
+        evicted = 0
+        with self._store_lock:
+            self._store[key] = compiled
+            self._store.move_to_end(key)
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+                evicted += 1
+        if evicted:
+            self.stats.bump(evictions=evicted)
 
     def get_or_compile(
         self,
@@ -150,22 +179,25 @@ class KernelCache:
         """
         cached = self.get(key)
         if cached is not None:
-            self.stats.hits += 1
-            self.stats.bytes_read += len(getattr(cached, "source", ""))
+            self.stats.bump(
+                hits=1, bytes_read=len(getattr(cached, "source", ""))
+            )
             return cached
-        self.stats.misses += 1
+        self.stats.bump(misses=1)
         if self.disk is not None:
             compiled = self.disk.load(key)
             if compiled is not None:
                 self.put(key, compiled)
-                self.stats.bytes_written += len(
-                    getattr(compiled, "source", "")
+                self.stats.bump(
+                    bytes_written=len(getattr(compiled, "source", ""))
                 )
                 return compiled
         compiled = builder(key)
-        self.stats.codegen_count += 1
+        self.stats.bump(
+            codegen_count=1,
+            bytes_written=len(getattr(compiled, "source", "")),
+        )
         self.put(key, compiled)
-        self.stats.bytes_written += len(getattr(compiled, "source", ""))
         if self.disk is not None:
             self.disk.store(key, compiled)
         return compiled
@@ -181,11 +213,13 @@ class KernelCache:
         }
 
     def clear(self) -> None:
-        self._store.clear()
-        self.stats = CacheStats()
+        with self._store_lock:
+            self._store.clear()
+            self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._store_lock:
+            return len(self._store)
 
 
 def _default_cache() -> KernelCache:

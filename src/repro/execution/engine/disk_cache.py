@@ -80,13 +80,12 @@ class DiskKernelCache:
                 raw = handle.read()
             payload = json.loads(raw.decode("utf-8"))
         except (OSError, ValueError):
-            self.stats.misses += 1
+            self.stats.bump(misses=1)
             return None
         if not isinstance(payload, dict) or payload.get("key") != key:
-            self.stats.misses += 1
+            self.stats.bump(misses=1)
             return None
-        self.stats.hits += 1
-        self.stats.bytes_read += len(raw)
+        self.stats.bump(hits=1, bytes_read=len(raw))
         try:  # recency signal for LRU pruning; best-effort only
             os.utime(self.artifact_path(key))
         except OSError:
@@ -95,9 +94,17 @@ class DiskKernelCache:
 
     def _write_payload(self, key: str, payload: dict) -> None:
         raw = json.dumps(payload, sort_keys=True).encode("utf-8")
-        fd, tmp = tempfile.mkstemp(
-            prefix=".tmp-" + key[:12] + "-", dir=self.path
-        )
+        try:
+            fd, tmp = tempfile.mkstemp(
+                prefix=".tmp-" + key[:12] + "-", dir=self.path
+            )
+        except FileNotFoundError:
+            # The directory was wiped out from under a long-lived
+            # handle (cache reset on a running server): recreate it.
+            os.makedirs(self.path, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                prefix=".tmp-" + key[:12] + "-", dir=self.path
+            )
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(raw)
@@ -108,7 +115,7 @@ class DiskKernelCache:
             except OSError:
                 pass
             raise
-        self.stats.bytes_written += len(raw)
+        self.stats.bump(bytes_written=len(raw))
         self._prune()
 
     # -- kernel artifacts ----------------------------------------------
@@ -129,8 +136,7 @@ class DiskKernelCache:
         except Exception:
             # An artifact that no longer execs (e.g. written by an
             # incompatible engine version) is a miss, not a crash.
-            self.stats.hits -= 1
-            self.stats.misses += 1
+            self.stats.bump(hits=-1, misses=1)
             return None
 
     def store(self, key: str, compiled: "CompiledModule") -> None:
@@ -194,7 +200,7 @@ class DiskKernelCache:
                 os.unlink(full)
             except OSError:
                 continue
-            self.stats.evictions += 1
+            self.stats.bump(evictions=1)
             total -= size
             if total <= self.max_bytes:
                 break

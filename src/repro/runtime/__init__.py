@@ -17,7 +17,14 @@ Layout:
 """
 
 from .pool import (  # noqa: F401
+    PersistentPool,
+    WorkerCrashError,
+    effective_cpus,
+    get_pool,
     parallel_map,
+    plan_batches,
+    pool_stats,
     resolve_jobs,
     seed_for_unit,
+    shutdown_pools,
 )

@@ -1,0 +1,35 @@
+"""Compilation-as-a-service: a persistent compile/execute server.
+
+The one-shot drivers (``mlt-opt``, the batch runner, the fuzz
+campaign) pay interpreter start-up, cache attachment, and pool fork
+for every invocation.  This package keeps all of that alive behind a
+socket: a long-lived asyncio server over the execution engine's
+kernel caches, with per-tenant namespaces, coalescing of identical
+in-flight work, request batching onto the persistent worker pool,
+and admission control.  See ``docs/serving.md``.
+"""
+
+from .client import ServeClient, ServeError  # noqa: F401
+from .protocol import (  # noqa: F401
+    ERROR_CODES,
+    MAX_MESSAGE_BYTES,
+    PROTOCOL_VERSION,
+    REQUEST_OPS,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+    read_message,
+    write_message,
+)
+from .server import CompileServer, ServerConfig, run_server  # noqa: F401
+from .units import (  # noqa: F401
+    BadRequest,
+    configure_serving,
+    normalize_request,
+    reset_serving_state,
+    serve_unit,
+    serving_cache_snapshots,
+    tenant_dir,
+)

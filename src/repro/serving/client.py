@@ -1,0 +1,142 @@
+"""Asyncio client for the compile service.
+
+One :class:`ServeClient` owns one connection and pipelines any number
+of concurrent requests on it: every request gets an auto-assigned
+``id``, a background reader task matches responses back to the awaiting
+futures, so ``await asyncio.gather(*[client.execute(...) ...])`` is the
+natural way to issue a burst.
+
+Responses are returned as plain dicts (``ok``/``code``/result fields);
+:meth:`ServeClient.check` converts an error response into a
+:class:`ServeError` for callers that prefer exceptions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Dict, Optional
+
+from . import protocol
+
+
+class ServeError(RuntimeError):
+    """An error response, as an exception (see ``code`` and ``response``)."""
+
+    def __init__(self, response: dict):
+        super().__init__(
+            f"[{response.get('code')}] {response.get('error')}"
+        )
+        self.code = response.get("code")
+        self.response = response
+
+
+class ServeClient:
+    """One pipelined NDJSON connection to a compile server."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._waiting: Dict[int, asyncio.Future] = {}
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+        self._closed = False
+
+    # -- connecting -----------------------------------------------------
+
+    @classmethod
+    async def connect_unix(cls, path: str) -> "ServeClient":
+        reader, writer = await asyncio.open_unix_connection(
+            path, limit=protocol.MAX_MESSAGE_BYTES
+        )
+        return cls(reader, writer)
+
+    @classmethod
+    async def connect_tcp(cls, host: str, port: int) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=protocol.MAX_MESSAGE_BYTES
+        )
+        return cls(reader, writer)
+
+    # -- plumbing -------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        error: Optional[BaseException] = None
+        try:
+            while True:
+                response = await protocol.read_message(self._reader)
+                if response is None:
+                    break
+                future = self._waiting.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (protocol.ProtocolError, ConnectionError, OSError) as exc:
+            error = exc
+        finally:
+            failure = error or ConnectionError(
+                "server closed the connection"
+            )
+            for future in self._waiting.values():
+                if not future.done():
+                    future.set_exception(failure)
+            self._waiting.clear()
+
+    async def request(self, message: dict) -> dict:
+        """Send one request and await its matched response."""
+        if self._closed:
+            raise ConnectionError("client is closed")
+        message = dict(message)
+        message["id"] = next(self._ids)
+        future = asyncio.get_running_loop().create_future()
+        self._waiting[message["id"]] = future
+        await protocol.write_message(self._writer, message)
+        return await future
+
+    @staticmethod
+    def check(response: dict) -> dict:
+        if not response.get("ok"):
+            raise ServeError(response)
+        return response
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        await self._reader_task
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- convenience ops ------------------------------------------------
+
+    async def ping(self) -> dict:
+        return self.check(await self.request({"op": "ping"}))
+
+    async def compile(self, **fields) -> dict:
+        return await self.request({"op": "compile", **fields})
+
+    async def execute(self, **fields) -> dict:
+        return await self.request({"op": "execute", **fields})
+
+    async def prewarm(self, kernels, **fields) -> dict:
+        return await self.request(
+            {"op": "prewarm", "kernels": list(kernels), **fields}
+        )
+
+    async def stats(self) -> dict:
+        return self.check(await self.request({"op": "stats"}))["stats"]
+
+    async def shutdown(self) -> dict:
+        return self.check(await self.request({"op": "shutdown"}))

@@ -1,0 +1,136 @@
+"""Wire protocol for the compile service: newline-delimited JSON.
+
+One request per line, one response per line, over any byte stream
+(asyncio TCP or unix-domain streams).  Requests are JSON objects with
+an ``op`` field and an optional client-chosen ``id`` that the matching
+response echoes, so a client may pipeline any number of requests on
+one connection and match responses out of order.
+
+Request ops
+-----------
+
+``ping``
+    Liveness probe; counted in server stats but never queued.
+``compile``
+    Build one kernel through a pipeline into the tenant's cache.
+    Either a *corpus* form (``kernel`` + ``pipeline`` [+ ``tile``,
+    ``heavy``]) naming a paper benchmark, or a *source* form
+    (``source`` + ``passes`` [+ ``source_kind``]) carrying raw C or
+    textual IR through an ``mlt-opt``-style pass list.
+``execute``
+    ``compile`` plus one run of the compiled function on deterministic
+    inputs derived from ``seed``; responds with per-argument checksums.
+``prewarm``
+    Batch-compile a list of corpus kernels into the tenant's cache and
+    pin their parsed metadata hot, so later ``execute`` requests skip
+    IR parsing entirely.
+``stats``
+    Server counters, per-tenant cache snapshots, pool statistics.
+``shutdown``
+    Graceful drain: queued and in-flight requests finish, new work is
+    refused, then the server exits.
+
+Responses carry ``ok`` (bool) and either result fields or ``error``
+(human-readable) plus ``code`` (stable machine-readable string from
+:data:`ERROR_CODES`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+#: Upper bound on one serialized message; a line longer than this is a
+#: protocol error, not an allocation storm.
+MAX_MESSAGE_BYTES = 8 * 1024 * 1024
+
+PROTOCOL_VERSION = 1
+
+REQUEST_OPS = (
+    "ping",
+    "compile",
+    "execute",
+    "prewarm",
+    "stats",
+    "shutdown",
+)
+
+#: Stable error codes clients may branch on.
+ERROR_CODES = (
+    "bad-request",    # malformed JSON, unknown op, invalid fields
+    "overloaded",     # admission control shed the request
+    "shutting-down",  # server is draining; no new work accepted
+    "compile-error",  # frontend/pipeline/codegen raised
+    "worker-crash",   # a pool worker died running this request
+    "internal",       # unexpected server-side failure
+)
+
+
+class ProtocolError(ValueError):
+    """Malformed frame: oversized line, bad JSON, or a non-object."""
+
+
+def encode_message(message: dict) -> bytes:
+    """Serialize one message to a single NDJSON line."""
+    return json.dumps(message, sort_keys=True).encode("utf-8") + b"\n"
+
+
+def decode_message(raw: bytes) -> dict:
+    try:
+        message = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad message frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+async def read_message(reader: asyncio.StreamReader) -> Optional[dict]:
+    """Read one message; ``None`` on a clean EOF.
+
+    Raises :class:`ProtocolError` for oversized or malformed frames —
+    the connection is poisoned at that point and should be closed.
+    """
+    try:
+        raw = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-message") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError("message exceeds MAX_MESSAGE_BYTES") from exc
+    if len(raw) > MAX_MESSAGE_BYTES:
+        raise ProtocolError("message exceeds MAX_MESSAGE_BYTES")
+    return decode_message(raw)
+
+
+async def write_message(
+    writer: asyncio.StreamWriter, message: dict
+) -> None:
+    writer.write(encode_message(message))
+    await writer.drain()
+
+
+def ok_response(request: dict, **fields) -> dict:
+    response = {"ok": True, "op": request.get("op")}
+    if "id" in request:
+        response["id"] = request["id"]
+    response.update(fields)
+    return response
+
+
+def error_response(request: dict, code: str, message: str, **fields) -> dict:
+    assert code in ERROR_CODES, code
+    response = {
+        "ok": False,
+        "op": request.get("op"),
+        "code": code,
+        "error": message,
+    }
+    if "id" in request:
+        response["id"] = request["id"]
+    response.update(fields)
+    return response

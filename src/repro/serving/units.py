@@ -1,0 +1,430 @@
+"""The compile/execute work unit behind every serving request.
+
+This layer is deliberately free of asyncio so the same function serves
+three callers:
+
+* the server's **inline** mode (``jobs=0``), which runs units on
+  executor threads of the event loop process;
+* the **persistent pool** mode, where units ship to long-lived worker
+  processes (:mod:`repro.runtime.pool`) as batched schedules;
+* the benchmark's **bare-call baseline**, which times ``serve_unit``
+  directly to price the socket + protocol overhead against it.
+
+State model — all module-global so pool workers keep their caches
+across batch generations:
+
+* ``configure_serving(root)`` pins the cache root (the pool's
+  per-generation initializer re-applies it; re-application is cheap
+  and keeps the registries).
+* Per-tenant caches live under ``<root>/tenants/<tenant>/`` — a
+  *namespace*: two tenants never share artifacts even for identical
+  kernels, and two servers pointed at one root but different tenants
+  can never cross-serve each other's kernels.
+* The **hot-kernel map** pins ``(compiled function, argument shapes)``
+  for served kernels, so a warm ``execute`` touches no IR at all —
+  no parse, no fingerprint, just input synthesis and the kernel call.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+_TENANT_RE = re.compile(r"^[A-Za-z0-9_][A-Za-z0-9_.-]{0,63}$")
+
+#: Hot-kernel map bound: one entry is a compiled callable plus a shape
+#: tuple, so a few hundred of them are cheap; beyond that, least
+#: recently served entries fall back to the regular cache path.
+HOT_MAX_ENTRIES = 1024
+
+_LOCK = threading.Lock()
+_SERVE_ROOT: Optional[str] = None
+_TENANTS: Dict[Tuple[Optional[str], str], "TenantCaches"] = {}
+_HOT: "OrderedDict[Tuple[Optional[str], str, str], tuple]" = OrderedDict()
+
+
+class BadRequest(ValueError):
+    """Request validation failure (maps to the ``bad-request`` code)."""
+
+
+class TenantCaches:
+    """One tenant's cache namespace: kernel + module tiers."""
+
+    def __init__(self, root: Optional[str], tenant: str):
+        from ..execution.engine.cache import KernelCache
+
+        self.tenant = tenant
+        self.kernel_cache = KernelCache()
+        self.module_cache = None
+        if root:
+            base = tenant_dir(root, tenant)
+            self.kernel_cache.attach_disk(os.path.join(base, "kernels"))
+            from ..execution.engine.disk_cache import DiskKernelCache
+
+            self.module_cache = DiskKernelCache(
+                os.path.join(base, "modules")
+            )
+
+
+def tenant_dir(root: str, tenant: str) -> str:
+    """The on-disk namespace for one tenant under one cache root."""
+    return os.path.join(root, "tenants", tenant)
+
+
+def validate_tenant(tenant: str) -> str:
+    if not isinstance(tenant, str) or not _TENANT_RE.match(tenant):
+        raise BadRequest(
+            "tenant must match [A-Za-z0-9_][A-Za-z0-9_.-]{0,63}"
+        )
+    return tenant
+
+
+def configure_serving(root: Optional[str]) -> None:
+    """Pin the cache root for this process (pool-worker initializer)."""
+    global _SERVE_ROOT
+    with _LOCK:
+        _SERVE_ROOT = root
+
+
+def reset_serving_state() -> None:
+    """Drop every tenant cache and hot kernel (tests)."""
+    global _SERVE_ROOT
+    with _LOCK:
+        _SERVE_ROOT = None
+        _TENANTS.clear()
+        _HOT.clear()
+
+
+def _tenant_caches(tenant: str) -> TenantCaches:
+    with _LOCK:
+        root = _SERVE_ROOT
+        key = (root, tenant)
+        caches = _TENANTS.get(key)
+        if caches is None:
+            caches = TenantCaches(root, tenant)
+            _TENANTS[key] = caches
+        return caches
+
+
+def _hot_get(tenant: str, mkey: str):
+    with _LOCK:
+        entry = _HOT.get((_SERVE_ROOT, tenant, mkey))
+        if entry is not None:
+            _HOT.move_to_end((_SERVE_ROOT, tenant, mkey))
+        return entry
+
+
+def is_hot(spec: dict) -> bool:
+    """True when :func:`serve_unit` would take the hot-map fast path —
+    no parse, no hashing, just the pinned compiled call.  The server
+    uses this to run hot units directly on the event loop instead of
+    paying an executor round-trip."""
+    entry = _hot_get(spec["tenant"], spec["mkey"])
+    if entry is None:
+        return False
+    if not spec["execute"]:
+        return True
+    return spec.get("func") == entry[3]
+
+
+def _hot_put(tenant: str, mkey: str, entry: tuple) -> None:
+    with _LOCK:
+        _HOT[(_SERVE_ROOT, tenant, mkey)] = entry
+        _HOT.move_to_end((_SERVE_ROOT, tenant, mkey))
+        while len(_HOT) > HOT_MAX_ENTRIES:
+            _HOT.popitem(last=False)
+
+
+def serving_cache_snapshots() -> Dict[str, dict]:
+    """Per-tenant cache statistics for this process (inline mode)."""
+    with _LOCK:
+        tenants = dict(_TENANTS)
+        hot_total = len(_HOT)
+    report = {}
+    for (_, tenant), caches in tenants.items():
+        report[tenant] = {
+            "kernel_cache": caches.kernel_cache.snapshot(),
+            "module_cache": caches.module_cache.stats.snapshot()
+            if caches.module_cache is not None
+            else None,
+        }
+    report["_hot_kernels"] = hot_total
+    return report
+
+
+# ----------------------------------------------------------------------
+# Request normalization (runs server-side, before any queueing)
+# ----------------------------------------------------------------------
+
+
+def normalize_request(
+    request: dict,
+    default_tenant: str = "default",
+    default_tile: int = 32,
+    allow_debug: bool = False,
+) -> dict:
+    """Validate one compile/execute/prewarm-item request into a plain,
+    picklable unit spec.
+
+    The spec carries the *resolved* source text (corpus kernels are
+    expanded here), so the coalescing key and the worker-side work are
+    derived from identical bytes.
+    """
+    op = request.get("op")
+    execute = op == "execute"
+    tenant = validate_tenant(request.get("tenant", default_tenant))
+    seed = request.get("seed", 0)
+    if not isinstance(seed, int):
+        raise BadRequest("seed must be an integer")
+    tile = request.get("tile", default_tile)
+    if not isinstance(tile, int) or tile <= 0:
+        raise BadRequest("tile must be a positive integer")
+
+    spec = {
+        "tenant": tenant,
+        "execute": execute,
+        "seed": seed,
+        "tile": tile,
+        "warm_hot": bool(request.get("warm_hot", execute)),
+    }
+
+    if "kernel" in request:
+        from ..evaluation import get_kernel
+
+        name = request["kernel"]
+        try:
+            kernel = get_kernel(name)
+        except (KeyError, ValueError) as exc:
+            raise BadRequest(f"unknown kernel {name!r}") from exc
+        pipeline = request.get("pipeline", "baseline")
+        from ..evaluation.pipelines import MODULE_BUILDERS
+
+        if pipeline not in MODULE_BUILDERS:
+            raise BadRequest(
+                f"unknown pipeline {pipeline!r}; "
+                f"known: {sorted(MODULE_BUILDERS)}"
+            )
+        heavy = bool(request.get("heavy", False))
+        spec.update(
+            mode="corpus",
+            kernel=name,
+            source=kernel.large() if heavy else kernel.small(),
+            pipeline=pipeline,
+            func=request.get("func", kernel.func_name),
+        )
+    elif "source" in request:
+        source = request["source"]
+        if not isinstance(source, str) or not source.strip():
+            raise BadRequest("source must be non-empty text")
+        passes = request.get("passes", [])
+        if not isinstance(passes, list) or not all(
+            isinstance(p, str) for p in passes
+        ):
+            raise BadRequest("passes must be a list of pass names")
+        from ..tool import _pass_registry
+
+        registry = _pass_registry()
+        unknown = [p for p in passes if p not in registry]
+        if unknown:
+            raise BadRequest(
+                f"unknown passes {unknown}; known: {sorted(registry)}"
+            )
+        kind = request.get("source_kind", "auto")
+        if kind not in ("auto", "c", "ir"):
+            raise BadRequest("source_kind must be auto|c|ir")
+        func = request.get("func")
+        if execute and not isinstance(func, str):
+            raise BadRequest("execute of raw source needs a func name")
+        spec.update(
+            mode="source",
+            source=source,
+            passes=list(passes),
+            source_kind=kind,
+            func=func,
+        )
+    else:
+        raise BadRequest(
+            "request needs either a corpus kernel ('kernel' + "
+            "'pipeline') or raw 'source' (+ 'passes')"
+        )
+
+    for debug_field in ("debug_delay_s", "debug_crash"):
+        if request.get(debug_field):
+            if not allow_debug:
+                raise BadRequest(
+                    f"{debug_field} requires a server started with "
+                    "allow_debug"
+                )
+            spec[debug_field] = request[debug_field]
+
+    spec["mkey"] = spec_module_key(spec)
+    return spec
+
+
+def spec_module_key(spec: dict) -> str:
+    """Content identity of one unit — the coalescing and hot-map key.
+
+    Mirrors the batch/bench keying so a served corpus kernel and a
+    ``benchmarks.harness`` run of the same kernel agree on identity.
+    """
+    from ..runtime.batch import module_cache_key
+
+    if spec["mode"] == "corpus":
+        return module_cache_key(
+            spec["source"], [spec["pipeline"]], f"tile={spec['tile']}"
+        )
+    return module_cache_key(
+        spec["source"], spec["passes"], f"serve:{spec['source_kind']}"
+    )
+
+
+# ----------------------------------------------------------------------
+# The unit itself (runs inline on executor threads, or in pool workers)
+# ----------------------------------------------------------------------
+
+
+def _build_module(spec: dict):
+    if spec["mode"] == "corpus":
+        from ..evaluation.pipelines import build_module
+
+        return build_module(
+            spec["source"], spec["pipeline"], tile=spec["tile"]
+        )
+    from ..ir import verify
+    from ..ir.parser import parse_module
+    from ..tool import build_pipeline
+
+    kind = spec["source_kind"]
+    text = spec["source"]
+    if kind == "auto":
+        kind = "c" if "{" in text and "void" in text else "ir"
+    if kind == "c":
+        from ..met import compile_c
+
+        module = compile_c(text)
+    else:
+        module = parse_module(text)
+    pm = build_pipeline(spec["passes"])
+    pm.run(module)
+    verify(module, pm.context)
+    return module
+
+
+def _kernel_tag(spec: dict) -> str:
+    from ..execution.engine.codegen import CODEGEN_VERSION
+
+    if spec["mode"] == "corpus":
+        pipeline = f"{spec['pipeline']}|tile={spec['tile']}"
+    else:
+        pipeline = ",".join(spec["passes"])
+    return f"serve:{pipeline}#cg={CODEGEN_VERSION}"
+
+
+def serve_unit(spec: dict) -> dict:
+    """Compile (and optionally execute) one normalized unit spec.
+
+    Pure function of (spec, cache contents): identical specs produce
+    identical kernels and checksums whether they run inline, on any
+    pool worker, serially, or cache-warm — the serving determinism
+    tests assert exactly this.
+    """
+    start = time.perf_counter()
+    if spec.get("debug_crash"):  # test seam: gated by allow_debug
+        os._exit(3)
+    if spec.get("debug_delay_s"):  # test seam: gated by allow_debug
+        time.sleep(float(spec["debug_delay_s"]))
+
+    tenant = spec["tenant"]
+    mkey = spec["mkey"]
+    func = spec.get("func")
+
+    hot = _hot_get(tenant, mkey)
+    if hot is not None:
+        key, functions, shapes, hot_func = hot
+        if not spec["execute"]:
+            return _result(spec, key, "hot", None, start)
+        if func == hot_func:
+            checksums = _run(functions[hot_func], shapes, spec["seed"])
+            return _result(spec, key, "hot", checksums, start)
+
+    caches = _tenant_caches(tenant)
+    module_cache = caches.module_cache
+    text = (
+        module_cache.load_text(mkey) if module_cache is not None else None
+    )
+    module = None
+    if text is None:
+        from ..ir import print_module
+
+        module = _build_module(spec)
+        text = print_module(module)
+        if module_cache is not None:
+            module_cache.store_text(mkey, text)
+
+    from ..execution.engine.cache import KernelCache
+
+    key = KernelCache.key_for_text(
+        hashlib.sha256(text.encode("utf-8")).hexdigest(),
+        _kernel_tag(spec),
+    )
+    built = {}
+
+    def build_kernel(k: str):
+        from ..execution.engine.codegen import compile_module
+        from ..ir.parser import parse_module
+
+        built["codegen"] = True
+        return compile_module(
+            parse_module(text) if module is None else module, k
+        )
+
+    compiled = caches.kernel_cache.get_or_compile_key(key, build_kernel)
+    cached = "codegen" if built else "cache"
+
+    checksums = None
+    if spec["execute"] or spec["warm_hot"]:
+        from ..fuzzing.oracle import module_arg_shapes
+
+        if module is None:
+            from ..ir.parser import parse_module
+
+            module = parse_module(text)
+        run_func = func or module.functions[0].sym_name
+        if module.lookup(run_func) is None:
+            raise BadRequest(f"module has no function @{run_func}")
+        shapes = module_arg_shapes(module, run_func)
+        _hot_put(
+            tenant, mkey, (key, compiled.functions, shapes, run_func)
+        )
+        if spec["execute"]:
+            checksums = _run(
+                compiled.functions[run_func], shapes, spec["seed"]
+            )
+    return _result(spec, key, cached, checksums, start)
+
+
+def _run(kernel_fn, shapes, seed: int):
+    from ..fuzzing.oracle import make_args
+
+    args = make_args(shapes, seed)
+    kernel_fn(*args)
+    return [float(buf.sum()) for buf in args]
+
+
+def _result(spec, key, cached, checksums, start) -> dict:
+    result = {
+        "key": key,
+        "tenant": spec["tenant"],
+        "cached": cached,
+        "seconds": time.perf_counter() - start,
+    }
+    if spec.get("kernel"):
+        result["kernel"] = spec["kernel"]
+    if checksums is not None:
+        result["checksums"] = checksums
+    return result

@@ -539,5 +539,114 @@ def fuzz_main(argv: List[str] = None) -> int:
     return 0 if stats.ok else 1
 
 
+def serve_main(argv: List[str] = None) -> int:
+    """``mlt-serve``: run the compile service (see docs/serving.md)."""
+    parser = argparse.ArgumentParser(
+        prog="mlt-serve",
+        description="Long-lived compile/execute server over the kernel "
+        "caches: per-tenant namespaces, request coalescing, batching "
+        "onto a persistent worker pool, and admission control.",
+    )
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--socket", help="serve on a unix-domain socket at this path"
+    )
+    group.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="serve on TCP at this port (0 = ephemeral; default)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind host"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache root; tenants namespace under "
+        "<cache-dir>/tenants/<tenant>/ (default: in-memory only)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="0 serves inline on executor threads; N>0 batches onto a "
+        "persistent N-worker pool (N=0 with --jobs -1 means one per "
+        "CPU)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        help="admission bound: shed requests beyond this many "
+        "queued+running units",
+    )
+    parser.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help="pool mode: gather admitted units this long per batch",
+    )
+    parser.add_argument(
+        "--prewarm",
+        default="",
+        help="comma-separated corpus kernels to compile and pin hot "
+        "before accepting traffic (pipeline fixed to baseline unless "
+        "given as kernel:pipeline)",
+    )
+    parser.add_argument(
+        "--allow-debug",
+        action="store_true",
+        help="honor debug_delay_s/debug_crash request fields "
+        "(test seams; never in production)",
+    )
+    args = parser.parse_args(argv)
+
+    import asyncio
+
+    from .runtime.pool import resolve_jobs
+    from .serving import ServerConfig, run_server
+
+    jobs = args.jobs if args.jobs >= 0 else resolve_jobs(0)
+    config = ServerConfig(
+        cache_dir=args.cache_dir,
+        jobs=jobs,
+        max_pending=args.max_pending,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        allow_debug=args.allow_debug,
+    )
+
+    prewarm = []
+    for item in filter(None, args.prewarm.split(",")):
+        name, _, pipeline = item.strip().partition(":")
+        prewarm.append(
+            {"kernel": name, "pipeline": pipeline or "baseline"}
+        )
+
+    def _on_ready(server, endpoint):
+        if prewarm:
+            sys.stderr.write(
+                f"mlt-serve: prewarmed {len(prewarm)} kernels\n"
+            )
+        sys.stderr.write(f"mlt-serve: listening on {endpoint}\n")
+        sys.stderr.flush()
+
+    try:
+        asyncio.run(
+            run_server(
+                config,
+                socket_path=args.socket,
+                host=args.host,
+                port=args.port or 0,
+                prewarm=prewarm,
+                ready_callback=_on_ready,
+            )
+        )
+    except KeyboardInterrupt:
+        sys.stderr.write("mlt-serve: interrupted\n")
+        return 130
+    return 0
+
+
 if __name__ == "__main__":
     sys.exit(main())

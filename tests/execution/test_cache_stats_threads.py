@@ -1,0 +1,153 @@
+"""CacheStats must count exactly under concurrent engine use.
+
+Before the serving front-end, caches were only touched from one thread
+and the bare ``stats.hits += 1`` increments could never race.  The
+server's executor threads and the pool bridge now bump the same
+counters concurrently, so every mutation goes through
+``CacheStats.bump`` under a lock — these tests hammer one cache from
+many threads and assert the *exact* totals, which lost increments
+would shave.
+"""
+
+import threading
+
+from repro.execution.engine.cache import CacheStats, KernelCache
+from repro.execution.engine.disk_cache import DiskKernelCache
+
+
+class FakeKernel:
+    def __init__(self, source="x = 1\n"):
+        self.source = source
+        self.functions = {}
+
+
+def _hammer(threads, target):
+    workers = [threading.Thread(target=target, args=(i,)) for i in range(threads)]
+    for t in workers:
+        t.start()
+    for t in workers:
+        t.join()
+
+
+class TestCacheStatsBump:
+    THREADS = 8
+    OPS = 2_000
+
+    def test_concurrent_bumps_are_exact(self):
+        stats = CacheStats()
+
+        def spin(_):
+            for _ in range(self.OPS):
+                stats.bump(hits=1, bytes_read=3)
+                stats.bump(misses=1, codegen_count=1)
+
+        _hammer(self.THREADS, spin)
+        snap = stats.snapshot()
+        assert snap["hits"] == self.THREADS * self.OPS
+        assert snap["misses"] == self.THREADS * self.OPS
+        assert snap["codegen_count"] == self.THREADS * self.OPS
+        assert snap["bytes_read"] == 3 * self.THREADS * self.OPS
+
+    def test_negative_deltas(self):
+        stats = CacheStats()
+        stats.bump(hits=5)
+        stats.bump(hits=-2)
+        assert stats.hits == 3
+
+    def test_snapshot_is_consistent_under_writers(self):
+        stats = CacheStats()
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                # hits and misses move in lockstep: every consistent
+                # snapshot must observe them equal.
+                stats.bump(hits=1, misses=1)
+
+        w = threading.Thread(target=writer)
+        w.start()
+        try:
+            for _ in range(500):
+                snap = stats.snapshot()
+                assert snap["hits"] == snap["misses"]
+        finally:
+            stop.set()
+            w.join()
+
+
+class TestKernelCacheThreaded:
+    THREADS = 8
+    OPS = 400
+
+    def test_hit_counts_exact_on_prepopulated_keys(self):
+        cache = KernelCache(max_entries=64)
+        keys = [f"key-{i}" for i in range(8)]
+        kernel = FakeKernel(source="abc")
+        for key in keys:
+            cache.put(key, kernel)
+
+        def spin(tid):
+            for i in range(self.OPS):
+                got = cache.get_or_compile_key(
+                    keys[(tid + i) % len(keys)],
+                    lambda k: (_ for _ in ()).throw(
+                        AssertionError("prepopulated key missed")
+                    ),
+                )
+                assert got is kernel
+
+        _hammer(self.THREADS, spin)
+        snap = cache.stats.snapshot()
+        total = self.THREADS * self.OPS
+        assert snap["hits"] == total
+        assert snap["misses"] == 0
+        assert snap["codegen_count"] == 0
+        assert snap["bytes_read"] == len("abc") * total
+
+    def test_concurrent_puts_keep_lru_invariants(self):
+        cache = KernelCache(max_entries=16)
+
+        def spin(tid):
+            for i in range(self.OPS):
+                cache.put(f"k-{tid}-{i}", FakeKernel())
+
+        _hammer(self.THREADS, spin)
+        inserted = self.THREADS * self.OPS
+        assert len(cache) == 16
+        assert cache.stats.snapshot()["evictions"] == inserted - 16
+
+    def test_distinct_key_compiles_count_exactly(self):
+        cache = KernelCache(max_entries=4 * self.THREADS * self.OPS)
+
+        def spin(tid):
+            for i in range(self.OPS):
+                cache.get_or_compile_key(
+                    f"k-{tid}-{i}", lambda k: FakeKernel()
+                )
+
+        _hammer(self.THREADS, spin)
+        snap = cache.stats.snapshot()
+        total = self.THREADS * self.OPS
+        assert snap["misses"] == total
+        assert snap["codegen_count"] == total
+        assert snap["hits"] == 0
+
+
+class TestDiskCacheThreaded:
+    THREADS = 6
+    OPS = 40
+
+    def test_text_tier_counts_exactly(self, tmp_path):
+        disk = DiskKernelCache(str(tmp_path / "cache"))
+        disk.store_text("warm", "payload")
+
+        def spin(tid):
+            for i in range(self.OPS):
+                assert disk.load_text("warm") == "payload"
+                assert disk.load_text(f"absent-{tid}-{i}") is None
+
+        _hammer(self.THREADS, spin)
+        snap = disk.stats.snapshot()
+        total = self.THREADS * self.OPS
+        assert snap["hits"] == total
+        assert snap["misses"] == total

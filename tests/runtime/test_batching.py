@@ -1,0 +1,109 @@
+"""Property tests for the batching scheduler.
+
+The persistent pool dispatches work as contiguous batches pulled from
+a shared queue (work-stealing): correctness rests on
+:func:`repro.runtime.pool.plan_batches` covering the unit list exactly
+and on the pool reassembling results in submission order whatever the
+interleaving.  Hypothesis drives both through arbitrary unit counts,
+worker counts, and batch sizes — the planner exhaustively, the real
+pool on a bounded number of examples (each example runs actual
+processes).
+"""
+
+import multiprocessing
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.pool import plan_batches
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+counts = st.integers(min_value=0, max_value=500)
+jobs = st.integers(min_value=-2, max_value=64)
+batch_sizes = st.one_of(
+    st.none(), st.integers(min_value=-3, max_value=600)
+)
+
+
+class TestPlanBatches:
+    @given(count=counts, jobs=jobs, batch_size=batch_sizes)
+    def test_batches_cover_exactly_in_order(
+        self, count, jobs, batch_size
+    ):
+        batches = plan_batches(count, jobs, batch_size)
+        # Reassembling the slices must reproduce range(count) exactly:
+        # no unit dropped, none duplicated, order preserved.
+        covered = [
+            index for lo, hi in batches for index in range(lo, hi)
+        ]
+        assert covered == list(range(count))
+
+    @given(count=counts, jobs=jobs, batch_size=batch_sizes)
+    def test_batches_are_nonempty_and_contiguous(
+        self, count, jobs, batch_size
+    ):
+        batches = plan_batches(count, jobs, batch_size)
+        for lo, hi in batches:
+            assert lo < hi
+        for (_, prev_hi), (lo, _) in zip(batches, batches[1:]):
+            assert lo == prev_hi
+
+    @given(
+        count=st.integers(min_value=1, max_value=500),
+        jobs=st.integers(min_value=1, max_value=64),
+        batch_size=st.integers(min_value=1, max_value=600),
+    )
+    def test_explicit_batch_size_is_honored(
+        self, count, jobs, batch_size
+    ):
+        batches = plan_batches(count, jobs, batch_size)
+        assert all(hi - lo <= batch_size for lo, hi in batches)
+        # Every batch but the last is full.
+        assert all(
+            hi - lo == batch_size for lo, hi in batches[:-1]
+        )
+
+    @given(count=st.integers(min_value=1, max_value=500), jobs=jobs)
+    def test_default_batching_feeds_every_worker(self, count, jobs):
+        batches = plan_batches(count, jobs)
+        # The default split produces enough batches for work-stealing
+        # to balance: at least min(count, jobs) batches.
+        assert len(batches) >= min(count, max(1, jobs))
+
+
+def _identity(x):
+    return x
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="requires fork start method")
+class TestPoolHonorsPlan:
+    """End-to-end: the real pool, arbitrary shapes, exact results."""
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        count=st.integers(min_value=0, max_value=60),
+        jobs=st.integers(min_value=2, max_value=3),
+        batch_size=st.one_of(
+            st.none(), st.integers(min_value=1, max_value=70)
+        ),
+    )
+    def test_pool_map_preserves_order_no_drop_no_dup(
+        self, count, jobs, batch_size
+    ):
+        from repro.runtime.pool import get_pool
+
+        items = list(range(count))
+        # The process-global pool is reused across examples — that is
+        # the persistent-pool contract this test exercises: arbitrary
+        # schedules through long-lived workers, exact results every
+        # time (work-stealing included).
+        result = get_pool(jobs).map(
+            _identity, items, batch_size=batch_size
+        )
+        assert result == items

@@ -16,6 +16,7 @@ from repro.runtime.fuzz import (
     run_campaign_parallel,
     write_campaign_metadata,
 )
+from repro.runtime.pool import fresh_pools
 
 HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
 
@@ -78,9 +79,14 @@ class TestSerialParallelEquivalence:
         serial = run_campaign_parallel(
             _campaign_config(serial_dir), num_seeds=6, jobs=1
         )
-        parallel = run_campaign_parallel(
-            _campaign_config(parallel_dir), num_seeds=6, jobs=2
-        )
+        # Persistent workers snapshot the parent at fork time: fork
+        # fresh ones so they observe the monkeypatched tactic, and tear
+        # them down after so the broken tactic never leaks into pools
+        # used by later tests.
+        with fresh_pools():
+            parallel = run_campaign_parallel(
+                _campaign_config(parallel_dir), num_seeds=6, jobs=2
+            )
 
         assert len(serial.failures) > 0
         assert [f.seed for f in serial.failures] == [
