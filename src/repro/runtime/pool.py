@@ -182,6 +182,35 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
 # ----------------------------------------------------------------------
 
 
+class _ResultChannel:
+    """Multi-producer result stream whose read end the pool owns.
+
+    ``SimpleQueue`` has the right semantics, but waiting for *either* a
+    result or a worker-death sentinel requires ``connection.wait`` on
+    the queue's read end, which ``SimpleQueue`` only exposes as the
+    undocumented ``_reader`` attribute.  This is the same
+    pipe-plus-writer-lock construction with the reader public: workers
+    serialize their ``put`` calls on a shared process lock, and the
+    parent (one ``map`` at a time, under the pool lock) reads
+    unlocked.
+    """
+
+    def __init__(self, ctx):
+        self.reader, self._writer = ctx.Pipe(duplex=False)
+        self._write_lock = ctx.Lock()
+
+    def put(self, obj) -> None:
+        blob = pickle.dumps(obj)
+        with self._write_lock:
+            self._writer.send_bytes(blob)
+
+    def get(self):
+        return pickle.loads(self.reader.recv_bytes())
+
+    def empty(self) -> bool:
+        return not self.reader.poll()
+
+
 class PersistentPool:
     """A pool of worker processes forked once and reused across calls.
 
@@ -199,7 +228,7 @@ class PersistentPool:
             start_method or _start_method()
         )
         self._tasks = self._ctx.SimpleQueue()
-        self._results = self._ctx.SimpleQueue()
+        self._results = _ResultChannel(self._ctx)
         self._lock = threading.Lock()
         self._generation = itertools.count(1)
         self._closed = False
@@ -267,7 +296,7 @@ class PersistentPool:
         last_progress = time.monotonic()
         while len(done) < len(batches) and failure is None:
             ready = connection.wait(
-                [self._results._reader]
+                [self._results.reader]
                 + [p.sentinel for p in self._workers.values() if p.is_alive()],
                 timeout=1.0,
             )

@@ -15,10 +15,10 @@ Request lifecycle::
   responses cost microseconds, so a client retry loop degrades
   gracefully instead of timing out.
 * **Coalescing** — concurrent requests for the same ``(tenant, module
-  key)`` share one in-flight compilation: the first becomes the
-  *leader*, the rest await its future and are answered from the same
-  result.  A thundering herd of N identical cold requests runs codegen
-  exactly once.
+  key, seed, entry function)`` share one in-flight compilation: the
+  first becomes the *leader*, the rest await its future and are
+  answered from the same result.  A thundering herd of N identical
+  cold requests runs codegen exactly once.
 * **Batching** — in pool mode, admitted units gather for a short
   window (``batch_window_s``) and ship to the persistent pool as one
   batched schedule, amortizing queue round-trips; the pool's
@@ -99,6 +99,7 @@ class CompileServer:
         # future (see :meth:`_run_coalesced` for the key shape).
         self._inflight: Dict[tuple, asyncio.Future] = {}
         self._shutdown_started = False
+        self._shutdown_task: Optional[asyncio.Task] = None
         # tenant -> shard locks (inline mode serializes per shard).
         self._tenant_locks: Dict[str, List[asyncio.Lock]] = {}
         # Open connections and outstanding request tasks, so shutdown
@@ -232,11 +233,13 @@ class CompileServer:
                 if request is None:
                     break
                 self.counters["received"] += 1
-                # Hot units answer synchronously right here: no task,
-                # no future, no executor — the microseconds of pinned
-                # compiled call aren't worth a scheduling round-trip,
-                # and this is what keeps warm p50 within a few
-                # multiples of the bare engine call.
+                # Cheap hot units answer synchronously right here: no
+                # task, no future, no executor — the microseconds of
+                # pinned compiled call aren't worth a scheduling
+                # round-trip, and this is what keeps warm p50 within a
+                # few multiples of the bare engine call.  Heavy hot
+                # units fall through to the task path so their ms-scale
+                # kernel calls never stall the loop.
                 fast = self._try_fast_path(request)
                 if fast is not None:
                     await self._respond(writer, write_lock, fast)
@@ -275,8 +278,8 @@ class CompileServer:
                 await protocol.write_message(writer, response)
 
     def _try_fast_path(self, request: dict) -> Optional[dict]:
-        """Serve a hot compile/execute unit synchronously, or ``None``
-        to fall through to the task-per-request slow path."""
+        """Serve a cheap hot compile/execute unit synchronously, or
+        ``None`` to fall through to the task-per-request slow path."""
         if (
             request.get("op") not in ("compile", "execute")
             or self.config.jobs > 0
@@ -290,9 +293,12 @@ class CompileServer:
                 default_tile=self.config.default_tile,
                 allow_debug=self.config.allow_debug,
             )
-        except BadRequest:
-            return None  # slow path reports the error
-        if spec.get("debug_delay_s") or not is_hot(spec):
+        except Exception:  # noqa: BLE001 — malformed fields can raise
+            # more than BadRequest (e.g. unhashable types); the slow
+            # path re-runs normalization and reports the error instead
+            # of letting it escape the connection read loop.
+            return None
+        if spec.get("heavy") or spec.get("debug_delay_s") or not is_hot(spec):
             return None
         if not self._admit():
             return protocol.error_response(
@@ -339,7 +345,11 @@ class CompileServer:
             # one are refused, then finish the drain in the background
             # and answer once everything queued has been served.
             self._draining = True
-            asyncio.get_running_loop().create_task(self.shutdown())
+            # Strong reference: asyncio only weakly references tasks,
+            # so an unstored drain task could be collected mid-drain.
+            self._shutdown_task = asyncio.get_running_loop().create_task(
+                self.shutdown()
+            )
             return protocol.ok_response(request, draining=True)
         if op in ("compile", "execute"):
             return await self._serve_unit_request(request)
@@ -410,7 +420,10 @@ class CompileServer:
 
         Coalescing keys on the content identity ``(tenant, mkey)``; an
         ``execute`` only joins an in-flight ``execute`` with the same
-        seed (a compile-only leader has no checksums to share).
+        seed (a compile-only leader has no checksums to share).  The
+        entry function is part of the key: a multi-function module can
+        be executed (and hot-pinned) per function, so followers must
+        not receive checksums for a different ``func``.
         """
         key = (
             spec["tenant"],
@@ -418,6 +431,7 @@ class CompileServer:
             spec["execute"],
             spec["seed"] if spec["execute"] else 0,
             spec["warm_hot"],
+            spec.get("func"),
         )
         existing = self._inflight.get(key)
         if existing is not None:
@@ -444,13 +458,18 @@ class CompileServer:
     async def _run_unit(self, spec: dict) -> dict:
         if self.config.jobs > 0:
             return await self._run_in_pool(spec)
-        # Hot units (pinned compiled call, no parsing or hashing) run
-        # directly on the loop — microseconds of work, and skipping
+        # Cheap hot units (pinned compiled call, no parsing or hashing)
+        # run directly on the loop — microseconds of work, and skipping
         # the executor round-trip is what keeps warm p50 within a few
-        # multiples of the bare in-process call.
-        if not spec.get("debug_delay_s") and is_hot(spec):
-            return serve_unit(spec)
+        # multiples of the bare in-process call.  Heavy units (ms-scale
+        # kernels) would stall every other connection, so even hot they
+        # go to the executor (no shard lock: the hot path touches no
+        # cache that needs serializing).
         loop = asyncio.get_running_loop()
+        if not spec.get("debug_delay_s") and is_hot(spec):
+            if not spec.get("heavy"):
+                return serve_unit(spec)
+            return await loop.run_in_executor(None, serve_unit, spec)
         async with self._shard_lock(spec["tenant"], spec["mkey"]):
             return await loop.run_in_executor(None, serve_unit, spec)
 

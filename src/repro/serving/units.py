@@ -216,6 +216,9 @@ def normalize_request(
             source=kernel.large() if heavy else kernel.small(),
             pipeline=pipeline,
             func=request.get("func", kernel.func_name),
+            # Heavy units run ~ms-scale kernels; the server keeps them
+            # off the event loop even when hot.
+            heavy=heavy,
         )
     elif "source" in request:
         source = request["source"]

@@ -153,6 +153,57 @@ class TestCoalescing:
             sum(1 for r in responses if r.get("coalesced")) == herd - 1
         )
 
+    def test_coalescing_is_per_entry_function(self, tmp_path):
+        # Same module, same seed, different entry functions: the two
+        # executes share a module key but must NOT coalesce — a
+        # follower joining the other function's flight would receive
+        # checksums computed by the wrong kernel.
+        source = (
+            "void f(double A[64], double B[64]) {\n"
+            "  for (int i = 0; i < 64; i++)\n"
+            "    B[i] = B[i] + A[i];\n"
+            "}\n"
+            "void g(double A[64], double B[64]) {\n"
+            "  for (int i = 0; i < 64; i++)\n"
+            "    B[i] = B[i] + A[i] * A[i];\n"
+            "}\n"
+        )
+
+        async def scenario():
+            server = await start_server(tmp_path)
+            client = await connect(server)
+            # debug_delay_s holds both units open so they are in
+            # flight simultaneously — the exact window where a
+            # func-blind coalescing key cross-serves results.
+            f_resp, g_resp = await asyncio.gather(
+                client.execute(
+                    source=source,
+                    passes=[],
+                    func="f",
+                    seed=3,
+                    debug_delay_s=0.2,
+                ),
+                client.execute(
+                    source=source,
+                    passes=[],
+                    func="g",
+                    seed=3,
+                    debug_delay_s=0.2,
+                ),
+            )
+            stats = server.stats()
+            await client.close()
+            await server.shutdown()
+            return f_resp, g_resp, stats
+
+        f_resp, g_resp, stats = run(scenario())
+        assert f_resp["ok"] and g_resp["ok"]
+        # Identical inputs (same seed), different kernels: the output
+        # checksums must differ — equal checksums mean one function's
+        # result was served for the other.
+        assert f_resp["checksums"] != g_resp["checksums"]
+        assert stats["counters"]["coalesced"] == 0
+
     def test_distinct_requests_do_not_coalesce(self, tmp_path):
         async def scenario():
             server = await start_server(tmp_path)
@@ -404,6 +455,53 @@ class TestProtocolAndValidation:
         assert bad_kernel["code"] == "bad-request"
         assert bad_op["code"] == "bad-request"
         assert bad_tenant["code"] == "bad-request"
+
+    def test_malformed_field_type_gets_error_not_disconnect(
+        self, tmp_path
+    ):
+        async def scenario():
+            server = await start_server(tmp_path)
+            client = await connect(server)
+            # A list where a string belongs raises TypeError (not
+            # BadRequest) inside normalization; the server must answer
+            # with an error response, not drop the connection.
+            malformed = await client.compile(
+                kernel=["gemm"], pipeline="baseline"
+            )
+            # ...and the connection survives for the next request.
+            after = await client.compile(
+                kernel="gemm", pipeline="baseline"
+            )
+            await client.close()
+            await server.shutdown()
+            return malformed, after
+
+        malformed, after = run(scenario())
+        assert not malformed["ok"]
+        assert malformed["code"] in ("bad-request", "internal")
+        assert after["ok"]
+
+    def test_heavy_hot_execute_served_off_loop(self, tmp_path):
+        async def scenario():
+            server = await start_server(tmp_path)
+            client = await connect(server)
+            cold = await client.execute(
+                kernel="atax", pipeline="baseline", heavy=True
+            )
+            hot = await client.execute(
+                kernel="atax", pipeline="baseline", heavy=True
+            )
+            await client.close()
+            await server.shutdown()
+            return cold, hot
+
+        # Heavy units skip the synchronous fast path (their ms-scale
+        # kernel calls would stall the event loop) but must still be
+        # served from the hot map via the executor.
+        cold, hot = run(scenario())
+        assert cold["ok"] and hot["ok"]
+        assert hot["cached"] == "hot"
+        assert cold["checksums"] == hot["checksums"]
 
     def test_debug_seams_refused_without_allow_debug(self, tmp_path):
         async def scenario():
