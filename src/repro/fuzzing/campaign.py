@@ -28,7 +28,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from .bisect import BisectionResult, bisect_pipeline
-from .generators import GeneratedKernel, generate_affine_module, generate_kernel
+from .generators import (
+    NEAR_MISS_FAMILIES,
+    GeneratedKernel,
+    generate_affine_module,
+    generate_kernel,
+)
 from .oracle import (
     DEFAULT_PIPELINES,
     OracleReport,
@@ -120,6 +125,7 @@ class FuzzCampaign:
         check_engine: bool = True,
         check_drivers: bool = True,
         check_vectorize: bool = True,
+        check_synth: bool = True,
     ):
         self.out_dir = out_dir
         self.rtol = rtol
@@ -128,6 +134,7 @@ class FuzzCampaign:
         self.check_engine = check_engine
         self.check_drivers = check_drivers
         self.check_vectorize = check_vectorize
+        self.check_synth = check_synth
         self.write_artifacts = write_artifacts
         registry = build_pipelines(fuzz_tile_size)
         if extra_pipelines:
@@ -174,6 +181,13 @@ class FuzzCampaign:
         stats.checks += 1
         if expectation is not None:
             failures.append(expectation)
+        if self.write_artifacts and kernel.family in NEAR_MISS_FAMILIES:
+            self._export_near_miss(kernel)
+        if self.check_synth:
+            synth_expectation = self._check_synth_expectation(seed, kernel)
+            stats.checks += 1
+            if synth_expectation is not None:
+                failures.append(synth_expectation)
         for name, pipeline in self.pipelines.items():
             report = run_oracle(
                 kernel.source,
@@ -343,6 +357,101 @@ class FuzzCampaign:
         if self.write_artifacts:
             failure.artifact_dir = self._dump(failure)
         return failure
+
+    @staticmethod
+    def _synth_raises_all(source: str) -> bool:
+        """True when the enumerative tier alone clears every affine
+        band the frontend emits for ``source``."""
+        from ..dialects.affine import AffineForOp
+        from ..met import compile_c
+        from ..tactics.raising import raise_affine_to_linalg
+
+        module = compile_c(source)
+        raise_affine_to_linalg(module, raise_mode="synth")
+        return not any(
+            isinstance(op, AffineForOp) for op in module.walk()
+        )
+
+    def _check_synth_expectation(
+        self, seed: int, kernel: GeneratedKernel
+    ) -> Optional[FuzzFailure]:
+        """Synth-diff oracle stage: families inside the enumerator's
+        candidate space must be fully raised by ``raise_mode="synth"``;
+        families outside it (offset accesses, stencils) must leave a
+        loop behind.  Either direction of mismatch is a synthesizer
+        regression — a lost candidate class or an unsound validation."""
+        from .oracle import StageResult
+
+        try:
+            raised = self._synth_raises_all(kernel.source)
+            detail = ""
+        except Exception as exc:
+            raised, detail = None, f"synthesis crashed: {exc}"
+        if raised == kernel.expect_synth_raise:
+            return None
+        if raised is not None:
+            detail = (
+                "synthesis raised a kernel outside its candidate space"
+                if raised
+                else "synthesis failed to raise an in-space kernel"
+            )
+        report = OracleReport("synth-expectation", kernel.func_name)
+        report.stages.append(
+            StageResult("raise-synth", False, "expectation", detail)
+        )
+
+        def still_mismatching(candidate: str) -> bool:
+            return (
+                self._synth_raises_all(candidate)
+                != kernel.expect_synth_raise
+            )
+
+        reduced = reduce_source(kernel.source, still_mismatching)
+        failure = FuzzFailure(
+            seed=seed,
+            pipeline="synth-expectation",
+            kind="c-kernel",
+            family=kernel.family,
+            report=report,
+            bisection=None,
+            source=kernel.source,
+            reduced_source=reduced,
+        )
+        if self.write_artifacts:
+            failure.artifact_dir = self._dump(failure)
+        return failure
+
+    def _export_near_miss(self, kernel: GeneratedKernel) -> str:
+        """Persist a near-miss variant as a replayable corpus entry.
+
+        These kernels are the synthesis tier's raison d'être — TDL must
+        skip them, and (for in-space families) synth must recover them —
+        so every generated one is kept under ``<out_dir>/near-miss/``
+        with its raise expectations recorded, whether or not any oracle
+        failed.  ``mlt-bench-raise --corpus`` sweeps this directory.
+        """
+        directory = os.path.join(
+            self.out_dir,
+            "near-miss",
+            f"seed-{kernel.seed:06d}-{kernel.family}",
+        )
+        os.makedirs(directory, exist_ok=True)
+        with open(os.path.join(directory, "kernel.c"), "w") as handle:
+            handle.write(kernel.source)
+        payload = {
+            "seed": kernel.seed,
+            "family": kernel.family,
+            "func_name": kernel.func_name,
+            "replay": f"mlt-fuzz --seed {kernel.seed}",
+            "expect_tdl_raise": kernel.expect_raise,
+            "expect_synth_raise": kernel.expect_synth_raise,
+        }
+        with open(
+            os.path.join(directory, "expectation.json"), "w"
+        ) as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        return directory
 
     def _handle_c_failure(
         self,

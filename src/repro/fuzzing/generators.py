@@ -115,6 +115,12 @@ class GeneratedKernel:
     #: this to False — raising them to linalg.matmul would be a bug in
     #: the matchers.
     expect_raise: bool = True
+    #: Whether the synthesis tier (``raise_mode="synth"``) is expected
+    #: to raise *every* loop band in the kernel — the near-miss corpus'
+    #: recorded expectation.  Families with accesses outside the
+    #: synthesizer's candidate space (offset subscripts, stencils) set
+    #: this to False.
+    expect_synth_raise: bool = True
 
     @property
     def source(self) -> str:
@@ -174,18 +180,28 @@ def _matmul_kernel(rng: random.Random, near_miss: Optional[str]) -> Tuple[Functi
     elif near_miss == "subtract":
         op = "-="
         expect = False
-    body = Assign(_acc("C", "i", "j"), op, _mul(a, b))
+    out = _acc("C", "i", "j")
+    out_dims = [m, n]
+    if near_miss == "permuted-output":
+        # C[j][i] += A[i][k] * B[k][j] — a contraction whose *output*
+        # is transposed relative to the gemm tactic's store pattern.
+        out = _acc("C", "j", "i")
+        out_dims = [n, m]
+        expect = False
+    body = Assign(out, op, _mul(a, b))
     update = _loop("i", m, [_loop("j", n, [_loop("k", k, [body])])])
     stmts: List[Stmt] = []
     if rng.random() < 0.5:
-        stmts.append(_init_nest(rng, "C", ("i", "j"), (m, n)))
+        stmts.append(
+            _init_nest(rng, "C", ("i", "j"), tuple(out_dims))
+        )
     stmts.append(update)
     func = FunctionDef(
         "kernel",
         [
             Param("float", "A", a_dims),
             Param("float", "B", b_dims),
-            Param("float", "C", [m, n]),
+            Param("float", "C", out_dims),
         ],
         stmts,
     )
@@ -263,6 +279,33 @@ def _elementwise_kernel(rng: random.Random) -> Tuple[FunctionDef, bool]:
     return func, False
 
 
+def _dot_kernel(rng: random.Random) -> Tuple[FunctionDef, bool]:
+    """s[0] += x[i] * y[i] — a rank-0-output contraction.  No TDL
+    tactic covers it (TDL placeholders need at least one output index),
+    so it is a near-miss for the structural tier but squarely inside
+    the synthesizer's candidate space."""
+    n = _extent(rng)
+    body = Assign(
+        ArrayRef("s", [Number(0)]),
+        "+=",
+        _mul(_acc("x", "i"), _acc("y", "i")),
+    )
+    stmts: List[Stmt] = []
+    if rng.random() < 0.5:
+        stmts.append(Assign(ArrayRef("s", [Number(0)]), "=", Number(0.0)))
+    stmts.append(_loop("i", n, [body]))
+    func = FunctionDef(
+        "kernel",
+        [
+            Param("float", "x", [n]),
+            Param("float", "y", [n]),
+            Param("float", "s", [1]),
+        ],
+        stmts,
+    )
+    return func, False
+
+
 def _stencil_kernel(rng: random.Random) -> Tuple[FunctionDef, bool]:
     """1-d three-point stencil: affine offsets, never a contraction."""
     n = rng.randint(4, 8)
@@ -289,10 +332,42 @@ KERNEL_FAMILIES = {
     "matmul-transposed": (lambda rng: _matmul_kernel(rng, "transposed"), 1),
     "matmul-offset": (lambda rng: _matmul_kernel(rng, "offset"), 1),
     "matmul-subtract": (lambda rng: _matmul_kernel(rng, "subtract"), 1),
+    "matmul-permuted-output": (
+        lambda rng: _matmul_kernel(rng, "permuted-output"),
+        1,
+    ),
     "matvec": (_matvec_kernel, 3),
+    "dot": (_dot_kernel, 1),
     "two-mm": (_two_mm_kernel, 2),
     "elementwise": (_elementwise_kernel, 2),
     "stencil": (_stencil_kernel, 1),
+}
+
+#: Families whose core statement the TDL tier must *not* raise — these
+#: are the seeds the campaign persists as the replayable near-miss
+#: corpus (``fuzz-failures/near-miss/``) for the synthesis tier.
+NEAR_MISS_FAMILIES = (
+    "matmul-transposed",
+    "matmul-offset",
+    "matmul-subtract",
+    "matmul-permuted-output",
+    "dot",
+)
+
+#: family -> whether ``raise_mode="synth"`` is expected to raise every
+#: loop band the frontend emits for it.  Offset accesses and stencils
+#: are outside the enumerator's pure-permutation candidate space.
+SYNTH_EXPECTED = {
+    "matmul": True,
+    "matmul-transposed": True,
+    "matmul-offset": False,
+    "matmul-subtract": True,
+    "matmul-permuted-output": True,
+    "matvec": True,
+    "dot": True,
+    "two-mm": True,
+    "elementwise": True,
+    "stencil": False,
 }
 
 
@@ -311,6 +386,7 @@ def generate_kernel(seed: int, family: Optional[str] = None) -> GeneratedKernel:
         func_name=func.name,
         unit=TranslationUnit([func]),
         expect_raise=expect,
+        expect_synth_raise=SYNTH_EXPECTED.get(family, False),
     )
 
 

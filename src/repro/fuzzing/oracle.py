@@ -131,6 +131,28 @@ def build_pipelines(fuzz_tile_size: int = 3) -> Dict[str, Pipeline]:
                 ),
             ],
         ),
+        "mlt-synth": Pipeline(
+            "mlt-synth",
+            [
+                met_stage(),
+                canonical,
+                PipelineStage(
+                    "raise-synth",
+                    [
+                        (
+                            "raise-affine-to-linalg",
+                            lambda: RaiseAffineToLinalgPass(
+                                raise_mode="tdl+synth"
+                            ),
+                        )
+                    ],
+                ),
+                PipelineStage(
+                    "lower-loops",
+                    [("convert-linalg-to-affine-loops", LinalgToAffinePass)],
+                ),
+            ],
+        ),
         "mlt-affine": Pipeline(
             "mlt-affine",
             [
@@ -156,7 +178,12 @@ def build_pipelines(fuzz_tile_size: int = 3) -> Dict[str, Pipeline]:
     }
 
 
-DEFAULT_PIPELINES: Tuple[str, ...] = ("mlt-linalg", "mlt-blas", "mlt-affine")
+DEFAULT_PIPELINES: Tuple[str, ...] = (
+    "mlt-linalg",
+    "mlt-blas",
+    "mlt-synth",
+    "mlt-affine",
+)
 
 
 # ----------------------------------------------------------------------

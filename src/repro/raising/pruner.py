@@ -1,0 +1,98 @@
+"""Cheap candidate pruning for the enumerative raiser.
+
+The enumerator proposes indexing-map assignments *blindly* (that is
+the point: no structural matching); this module is the fast filter
+that discards candidates which cannot possibly be equivalent before
+any interpreter trial runs:
+
+* **rank check** — one subscript expression per memref dimension;
+* **shape check** — a band dim may only index a memref dimension of
+  the same extent (a constant-0 subscript may only index a size-1
+  dimension);
+* **abstract access-pattern check** — a candidate map may only use
+  band dims the array's accesses in the original nest actually use
+  (an array never indexed by ``j`` cannot behave as if it were);
+* **coverage check** — together the maps must mention every band dim,
+  otherwise the candidate's iteration domain is under-constrained.
+
+Everything here is *necessary*, never sufficient: survivors still go
+through the I/O-equivalence oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+#: A subscript assignment: band-dim position, or ``None`` for the
+#: constant-0 subscript (only legal on size-1 dimensions).
+Subscript = Optional[int]
+Assignment = Tuple[Subscript, ...]
+
+
+def subscript_options(
+    dim_size: int,
+    extents: Sequence[int],
+    observed_dims: frozenset,
+) -> List[Subscript]:
+    """Band dims eligible to index a memref dimension of ``dim_size``.
+
+    Only dims whose extent matches and which the array's real accesses
+    use are eligible; a size-1 dimension may also take the constant-0
+    subscript (the scalar-accumulator case, e.g. ``s[0]``).
+    """
+    options: List[Subscript] = [
+        d
+        for d, extent in enumerate(extents)
+        if extent == dim_size and d in observed_dims
+    ]
+    if dim_size == 1:
+        options.append(None)
+    return options
+
+
+def enumerate_assignments(
+    shape: Sequence[int],
+    extents: Sequence[int],
+    observed_dims: frozenset,
+) -> Iterator[Assignment]:
+    """All shape-valid, access-valid dim assignments for one operand.
+
+    Dims are distinct within one assignment (no diagonal accesses —
+    the original C subset cannot express them either).
+    """
+    per_position = [
+        subscript_options(size, extents, observed_dims) for size in shape
+    ]
+
+    def recurse(pos: int, used: frozenset, acc: Tuple[Subscript, ...]):
+        if pos == len(per_position):
+            yield acc
+            return
+        for option in per_position[pos]:
+            if option is not None and option in used:
+                continue
+            next_used = used if option is None else used | {option}
+            yield from recurse(pos + 1, next_used, acc + (option,))
+
+    yield from recurse(0, frozenset(), ())
+
+
+def covers_all_dims(
+    assignments: Sequence[Assignment], num_dims: int
+) -> bool:
+    """Every band dim must appear in at least one operand map, or the
+    candidate op's iteration domain cannot be inferred."""
+    seen = set()
+    for assignment in assignments:
+        for sub in assignment:
+            if sub is not None:
+                seen.add(sub)
+    return seen == set(range(num_dims))
+
+
+def reduction_dims(
+    out_assignment: Assignment, num_dims: int
+) -> List[int]:
+    """Band dims absent from the output map (iterated, not stored)."""
+    out_dims = {sub for sub in out_assignment if sub is not None}
+    return [d for d in range(num_dims) if d not in out_dims]

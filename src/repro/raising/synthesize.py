@@ -1,0 +1,141 @@
+"""The synthesis raising pass: the fallback tier behind the TDL
+matchers.
+
+Per affine band left in a function, :func:`synthesize_nest` runs the
+full enumerate -> prune -> validate -> rewrite loop; the first candidate
+(in the enumerator's preference order: named op, then contraction
+generic, then clone-body generic) that survives I/O-equivalence
+validation replaces the nest.  Every outcome — raise or bail — is
+recorded in a :class:`~.stats.RaiseStats`.
+
+``SynthRaisingPass`` (``-raise-affine-synth``) applies this to a whole
+module; ``RaiseAffineToLinalgPass(raise_mode=...)`` in
+``repro.tactics.raising`` composes it after the TDL tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from ..dialects.affine import AffineForOp, perfect_nest
+from ..ir import Context, FunctionPass, ModuleOp, PatternRewriter
+from .enumerator import Candidate, EnumeratorConfig, enumerate_candidates
+from .equivalence import (
+    EquivalenceChecker,
+    EquivalenceConfig,
+    OracleError,
+)
+from .nest import NestSummary, summarize_nest
+from .rewriter import apply_candidate
+from .stats import RaiseStats
+
+
+@dataclass
+class SynthConfig:
+    enumerator: EnumeratorConfig = field(default_factory=EnumeratorConfig)
+    equivalence: EquivalenceConfig = field(default_factory=EquivalenceConfig)
+
+
+def synthesize_nest(
+    root: AffineForOp,
+    stats: RaiseStats,
+    config: SynthConfig,
+    rewriter: Optional[PatternRewriter] = None,
+) -> Union[Candidate, str]:
+    """Try to raise the band rooted at ``root``; returns the applied
+    candidate or a :data:`~.stats.SYNTH_BAIL_REASONS` key."""
+    summary = summarize_nest(root)
+    if isinstance(summary, str):
+        stats.record_synth_bail(summary)
+        return summary
+
+    result, pruned = enumerate_candidates(summary, config.enumerator)
+    stats.candidates_pruned += pruned
+    if isinstance(result, str):
+        stats.record_synth_bail(result)
+        return result
+    stats.candidates_enumerated += len(result)
+
+    try:
+        checker = EquivalenceChecker(summary, config.equivalence, stats)
+    except OracleError:
+        stats.record_synth_bail("oracle-error")
+        return "oracle-error"
+
+    for candidate in result:
+        if checker.check(candidate):
+            apply_candidate(candidate, summary, rewriter or PatternRewriter())
+            stats.record_synth_raise(candidate.op_name)
+            return candidate
+    stats.record_synth_bail("validation-failed")
+    return "validation-failed"
+
+
+def synthesize_function(
+    func,
+    stats: Optional[RaiseStats] = None,
+    config: Optional[SynthConfig] = None,
+) -> int:
+    """Raise every eligible band in ``func``; returns the raise count.
+
+    Bands are visited outermost-first; an imperfect outer band bails
+    but its inner loops are retried as roots of their own, so the
+    subsystem still recovers e.g. the compute nest of an
+    init-then-compute pair under one outer loop.
+    """
+    stats = stats if stats is not None else RaiseStats()
+    config = config or SynthConfig()
+    rewriter = PatternRewriter()
+    worklist: List[AffineForOp] = [
+        op
+        for op in func.walk()
+        if isinstance(op, AffineForOp)
+        and not isinstance(op.parent_op, AffineForOp)
+    ]
+    raised = 0
+    while worklist:
+        root = worklist.pop(0)
+        outcome = synthesize_nest(root, stats, config, rewriter)
+        if isinstance(outcome, Candidate):
+            raised += 1
+        elif outcome == "imperfect-nest":
+            band = perfect_nest(root)
+            worklist.extend(
+                op
+                for op in band[-1].ops_in_body()
+                if isinstance(op, AffineForOp)
+            )
+    return raised
+
+
+class SynthRaisingPass(FunctionPass):
+    """``-raise-affine-synth``: enumerative raising for every affine
+    band still standing (typically run after the TDL tier)."""
+
+    name = "raise-affine-synth"
+
+    def __init__(
+        self,
+        config: Optional[SynthConfig] = None,
+        stats: Optional[RaiseStats] = None,
+    ):
+        self.config = config or SynthConfig()
+        self.stats = stats if stats is not None else RaiseStats()
+
+    @property
+    def raise_stats(self) -> RaiseStats:
+        """Uniform accessor for ``mlt-opt --raise-stats``."""
+        return self.stats
+
+    def run_on_function(self, func, context: Context):
+        return synthesize_function(func, self.stats, self.config) > 0
+
+
+def raise_with_synthesis(
+    module: ModuleOp, config: Optional[SynthConfig] = None
+) -> RaiseStats:
+    """Convenience wrapper mirroring ``raise_affine_to_linalg``."""
+    pass_ = SynthRaisingPass(config)
+    pass_.run(module, Context())
+    return pass_.stats

@@ -8,7 +8,7 @@ that the builders consume.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..analysis.accesses import access_function
 from ..dialects.affine import (
@@ -83,21 +83,29 @@ class CompiledTactic:
 
     def match(self, op: Operation) -> Optional[MatchResult]:
         """Match the pattern with ``op`` as the band's outermost loop."""
+        return self.match_explain(op)[0]
+
+    def match_explain(
+        self, op: Operation
+    ) -> Tuple[Optional[MatchResult], str]:
+        """Like :meth:`match`, but also reports *why* the matcher
+        bailed: the second element is ``"matched"`` or a key from
+        ``repro.raising.stats.TDL_BAIL_REASONS``."""
         if not isinstance(op, AffineForOp):
-            return None
+            return None, "pattern-mismatch"
         # The relative root must not itself be an inner loop of a larger
         # perfect band (the enclosing loop would then be part of the
         # computation we are about to replace).
         parent = op.parent_op
         if isinstance(parent, AffineForOp) and len(parent.ops_in_body()) == 1:
-            return None
+            return None, "inner-loop-root"
         band = perfect_nest(op)
         if len(band) != self.num_loops:
-            return None
+            return None, "depth-mismatch"
         # Cheap pre-filter before building matcher machinery: the
         # innermost block must have the right operation mix.
         if not self._block_is_exact(band[-1]):
-            return None
+            return None, "body-shape"
 
         with NestedPatternContext(), AccessPatternContext() as pctx:
             placeholders: Dict[str, Placeholder] = {
@@ -118,9 +126,9 @@ class CompiledTactic:
             for _ in range(self.num_loops - 1):
                 node = For(node)
             if not node.match(op):
-                return None
+                return None, "structure-mismatch"
             if not self._block_is_exact(band[-1]):
-                return None
+                return None, "body-shape"
 
             # Bound candidates must be exactly the band's IVs.
             band_ivs = {id(loop.induction_var) for loop in band}
@@ -129,18 +137,19 @@ class CompiledTactic:
             for var, placeholder in placeholders.items():
                 candidate = pctx.candidate(placeholder)
                 if candidate is None or id(candidate) not in band_ivs:
-                    return None
+                    return None, "iv-binding"
                 iv_of[var] = candidate
                 loop = candidate.owner.parent_op
                 trip = loop.constant_trip_count()
                 if trip is None:
-                    return None
+                    return None, "non-constant-trip"
                 extent_of[var] = trip
             memref_of = {
                 tensor: pctx[array] for tensor, array in arrays.items()
             }
-            return MatchResult(
-                self.name, band, iv_of, extent_of, memref_of
+            return (
+                MatchResult(self.name, band, iv_of, extent_of, memref_of),
+                "matched",
             )
 
     def _block_is_exact(self, innermost: AffineForOp) -> bool:

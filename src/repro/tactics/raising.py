@@ -24,10 +24,15 @@ from ..ir import (
     RewritePattern,
     apply_patterns_greedily,
 )
+from ..raising.stats import RaiseStats
 from .compiled import CompiledTactic, compile_tactic
 from .contraction import PAPER_CONTRACTIONS, contraction_tactic_tdl
 from .tdl.frontend import tdl_to_tds
 from .tdl.parser import parse_tdl
+
+#: Raising tiers: the structural TDL matchers, the enumerative
+#: synthesizer (``repro.raising``), or TDL with synthesis as fallback.
+RAISE_MODES = ("tdl", "synth", "tdl+synth")
 
 # ----------------------------------------------------------------------
 # The stock tactics library (all defined in TDL — we eat our own food)
@@ -113,11 +118,13 @@ class TacticRewritePattern(RewritePattern):
         target: str = "linalg",
         library: str = "mkl-dnn",
         stats: Optional[RaisingStats] = None,
+        raise_stats: Optional[RaiseStats] = None,
     ):
         self.tactic = tactic
         self.target = target
         self.library = library
         self.stats = stats
+        self.raise_stats = raise_stats
         # Deeper patterns first: a contraction band must be claimed by
         # its contraction tactic, not a shallower pattern.
         self.benefit = tactic.num_loops
@@ -127,7 +134,9 @@ class TacticRewritePattern(RewritePattern):
         return self.tactic.name
 
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
-        result = self.tactic.match(op)
+        result, reason = self.tactic.match_explain(op)
+        if self.raise_stats is not None:
+            self.raise_stats.record_tdl(self.tactic.name, reason)
         if result is None:
             return False
         from .builders import apply_builders
@@ -156,32 +165,42 @@ class FillRaisingPattern(RewritePattern):
     root_op_name = "affine.for"
     benefit = 0  # after all tactics
 
-    def __init__(self, stats: Optional[RaisingStats] = None):
+    def __init__(
+        self,
+        stats: Optional[RaisingStats] = None,
+        raise_stats: Optional[RaiseStats] = None,
+    ):
         self.stats = stats
+        self.raise_stats = raise_stats
+
+    def _bail(self, reason: str = "pattern-mismatch") -> bool:
+        if self.raise_stats is not None:
+            self.raise_stats.record_tdl("FILL", reason)
+        return False
 
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
         if not isinstance(op, AffineForOp):
-            return False
+            return self._bail()
         parent = op.parent_op
         if isinstance(parent, AffineForOp) and len(parent.ops_in_body()) == 1:
-            return False
+            return self._bail("inner-loop-root")
         band = perfect_nest(op)
         payload = band[-1].ops_in_body()
         if len(payload) != 2:
-            return False
+            return self._bail("body-shape")
         const_op, store_op = payload
         if not isinstance(const_op, std.ConstantOp) or not isinstance(
             store_op, AffineStoreOp
         ):
-            return False
+            return self._bail("body-shape")
         if store_op.value is not const_op.result:
-            return False
+            return self._bail("structure-mismatch")
         access = access_function(store_op)
         if access is None:
-            return False
+            return self._bail("structure-mismatch")
         band_ivs = [loop.induction_var for loop in band]
         if len(access.subscripts) != len(band_ivs):
-            return False
+            return self._bail("structure-mismatch")
         seen = set()
         for sub in access.subscripts:
             single = None
@@ -190,21 +209,21 @@ class FillRaisingPattern(RewritePattern):
                 if coeff == 1:
                     single = iv
             if single is None or id(single) in seen:
-                return False
+                return self._bail("iv-binding")
             if not any(single is iv for iv in band_ivs):
-                return False
+                return self._bail("iv-binding")
             seen.add(id(single))
         # Bounds must cover the full memref.
         memref = store_op.memref
         for loop in band:
             if loop.constant_lower_bound() != 0:
-                return False
+                return self._bail("non-constant-trip")
         extents = {}
         for sub, dim_size in zip(access.subscripts, memref.type.shape):
             ((iv, _),) = sub.coeffs.items()
             loop = iv.owner.parent_op
             if loop.constant_trip_count() != dim_size:
-                return False
+                return self._bail("non-constant-trip")
         rewriter.set_insertion_point_before(op)
         new_const = rewriter.insert(
             std.ConstantOp.create(const_op.value, memref.type.element_type)
@@ -213,6 +232,8 @@ class FillRaisingPattern(RewritePattern):
         rewriter.erase_nest(band[0])
         if self.stats is not None:
             self.stats.record("FILL")
+        if self.raise_stats is not None:
+            self.raise_stats.record_tdl("FILL", "matched")
         return True
 
 
@@ -252,33 +273,67 @@ class RaiseAffineToLinalgPass(FunctionPass):
         tactics: Optional[Sequence[CompiledTactic]] = None,
         raise_fills: bool = True,
         raise_generics: bool = False,
+        raise_mode: str = "tdl",
+        synth_config=None,
     ):
+        if raise_mode not in RAISE_MODES:
+            raise ValueError(
+                f"unknown raise mode {raise_mode!r}; known: {RAISE_MODES}"
+            )
         self.tactics = list(tactics) if tactics is not None else None
         self.raise_fills = raise_fills
         self.raise_generics = raise_generics
+        self.raise_mode = raise_mode
+        self.synth_config = synth_config
         self.stats = RaisingStats()
+        #: Per-pattern / per-bail-reason observability for both tiers
+        #: (``mlt-opt --raise-stats``).
+        self.raise_stats = RaiseStats()
 
     def run(self, module: ModuleOp, context: Context) -> None:
         tactics = (
             self.tactics if self.tactics is not None else default_linalg_tactics()
         )
-        patterns: List[RewritePattern] = [
-            TacticRewritePattern(t, target="linalg", stats=self.stats)
-            for t in tactics
-        ]
-        if self.raise_fills:
-            patterns.append(FillRaisingPattern(self.stats))
-        if self.raise_generics:
-            from .generic_raising import GenericContractionPattern
+        patterns: List[RewritePattern] = []
+        if "tdl" in self.raise_mode:
+            patterns = [
+                TacticRewritePattern(
+                    t,
+                    target="linalg",
+                    stats=self.stats,
+                    raise_stats=self.raise_stats,
+                )
+                for t in tactics
+            ]
+            if self.raise_fills:
+                patterns.append(
+                    FillRaisingPattern(self.stats, self.raise_stats)
+                )
+            if self.raise_generics:
+                from .generic_raising import GenericContractionPattern
 
-            patterns.append(GenericContractionPattern(self.stats))
-        self._frozen = FrozenPatternSet(patterns)
+                patterns.append(GenericContractionPattern(self.stats))
+        self._frozen = FrozenPatternSet(patterns) if patterns else None
         super().run(module, context)
 
     def run_on_function(self, func, context: Context):
-        result = apply_patterns_greedily(func, self._frozen)
-        self.rewrite_results.append(result)
-        return result.changed
+        changed = False
+        if self._frozen is not None:
+            result = apply_patterns_greedily(func, self._frozen)
+            self.rewrite_results.append(result)
+            changed = result.changed
+        if "synth" in self.raise_mode:
+            # Fallback tier: whatever the structural matchers left
+            # behind gets one enumerative-synthesis attempt per band.
+            from ..raising.synthesize import synthesize_function
+
+            changed = (
+                synthesize_function(
+                    func, self.raise_stats, self.synth_config
+                )
+                > 0
+            ) or changed
+        return changed
 
 
 # ----------------------------------------------------------------------
@@ -297,7 +352,10 @@ def raise_affine_to_linalg(
     tactics: Optional[Sequence[CompiledTactic]] = None,
     raise_fills: bool = True,
     raise_generics: bool = False,
+    raise_mode: str = "tdl",
 ) -> RaisingStats:
-    pass_ = RaiseAffineToLinalgPass(tactics, raise_fills, raise_generics)
+    pass_ = RaiseAffineToLinalgPass(
+        tactics, raise_fills, raise_generics, raise_mode=raise_mode
+    )
     pass_.run(module, Context())
     return pass_.stats

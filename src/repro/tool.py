@@ -29,8 +29,9 @@ def _generic_raising_pass():
     return GenericRaisingPass()
 
 
-def _pass_registry() -> Dict[str, Callable[[], Pass]]:
+def _pass_registry(raise_mode: str = "tdl") -> Dict[str, Callable[[], Pass]]:
     from .ir import LambdaPass
+    from .raising import SynthRaisingPass
     from .tactics.chain import MatrixChainReorderPass
     from .tactics.raising import (
         RaiseAffineToAffinePass,
@@ -55,7 +56,10 @@ def _pass_registry() -> Dict[str, Callable[[], Pass]]:
         "affine-delinearize": DelinearizationPass,
         "raise-scf-to-affine": SCFToAffinePass,
         "raise-affine-to-affine": RaiseAffineToAffinePass,
-        "raise-affine-to-linalg": RaiseAffineToLinalgPass,
+        "raise-affine-to-linalg": lambda: RaiseAffineToLinalgPass(
+            raise_mode=raise_mode
+        ),
+        "raise-affine-synth": SynthRaisingPass,
         "raise-affine-to-generic": _generic_raising_pass,
         "linalg-matrix-chain-reorder": MatrixChainReorderPass,
         "convert-linalg-to-blas": LinalgToBlasPass,
@@ -93,8 +97,10 @@ def load_input(path_or_dash: str, source_kind: str = "auto") -> ModuleOp:
     return parse_module(text)
 
 
-def build_pipeline(pass_names: List[str]) -> PassManager:
-    registry = _pass_registry()
+def build_pipeline(
+    pass_names: List[str], raise_mode: str = "tdl"
+) -> PassManager:
+    registry = _pass_registry(raise_mode)
     pm = PassManager(Context(), verify_each=False)
     for name in pass_names:
         if name not in registry:
@@ -211,6 +217,21 @@ def main(argv: List[str] = None) -> int:
         "contractions, LICM hoists, bail reasons) to stderr",
     )
     parser.add_argument(
+        "--raise-mode",
+        choices=["tdl", "synth", "tdl+synth"],
+        default="tdl",
+        help="raising tier for -raise-affine-to-linalg: structural TDL "
+        "matchers, enumerative synthesis, or TDL with synthesis as "
+        "fallback (default: tdl)",
+    )
+    parser.add_argument(
+        "--raise-stats",
+        action="store_true",
+        help="print the RaiseStats taxonomy (per-TDL-pattern "
+        "attempted/matched/bailed + synthesis nest/candidate counters) "
+        "to stderr after the pipeline",
+    )
+    parser.add_argument(
         "-o", "--output", default="-", help="output file (default stdout)"
     )
     args = parser.parse_args(rest)
@@ -231,10 +252,12 @@ def main(argv: List[str] = None) -> int:
     from .ir import set_default_driver
 
     set_default_driver(args.driver)
-    pm = build_pipeline(pass_names)
+    pm = build_pipeline(pass_names, raise_mode=args.raise_mode)
     timing = pm.run(module)
     if not args.no_verify:
         verify(module, pm.context)
+    if args.raise_stats:
+        _print_raise_stats(pm)
 
     text = print_module(module)
     if args.output == "-":
@@ -276,6 +299,33 @@ def main(argv: List[str] = None) -> int:
     if args.cache_stats:
         _print_cache_stats()
     return 0
+
+
+def _print_raise_stats(pm: PassManager) -> None:
+    """Merge the RaiseStats of every raising pass in the pipeline and
+    print the snapshot to stderr."""
+    import json
+
+    from .raising.stats import RaiseStats
+
+    merged = RaiseStats()
+    found = False
+    for pass_ in pm.passes:
+        stats = getattr(pass_, "raise_stats", None)
+        if isinstance(stats, RaiseStats):
+            merged.merge(stats)
+            found = True
+    if not found:
+        sys.stderr.write(
+            "mlt-opt: --raise-stats: no raising pass in the pipeline "
+            "(use -raise-affine-to-linalg or -raise-affine-synth)\n"
+        )
+        return
+    sys.stderr.write(
+        "mlt-opt: raise stats: "
+        + json.dumps(merged.snapshot(), sort_keys=True)
+        + "\n"
+    )
 
 
 def _print_cache_stats() -> None:
@@ -472,6 +522,11 @@ def fuzz_main(argv: List[str] = None) -> int:
         action="store_true",
         help="skip the whole-nest-vectorized vs scalar engine cross-check",
     )
+    parser.add_argument(
+        "--no-synth-diff",
+        action="store_true",
+        help="skip the synthesis-raising expectation oracle",
+    )
     args = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
 
     pipelines = args.pipelines.split(",") if args.pipelines else None
@@ -484,6 +539,7 @@ def fuzz_main(argv: List[str] = None) -> int:
         check_engine=not args.no_engine_diff,
         check_drivers=not args.no_driver_diff,
         check_vectorize=not args.no_vectorize_diff,
+        check_synth=not args.no_synth_diff,
     )
     try:
         campaign = FuzzCampaign(**campaign_config)
@@ -496,7 +552,9 @@ def fuzz_main(argv: List[str] = None) -> int:
         kernel = generate_kernel(args.seed)
         sys.stderr.write(
             f"seed {args.seed}: family={kernel.family} "
-            f"expect_raise={kernel.expect_raise}\n{kernel.source}\n"
+            f"expect_raise={kernel.expect_raise} "
+            f"expect_synth_raise={kernel.expect_synth_raise}\n"
+            f"{kernel.source}\n"
         )
         failures = campaign.run_seed(args.seed)
         if not failures:

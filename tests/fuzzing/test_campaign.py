@@ -17,11 +17,18 @@ class TestCampaignCleanCodebase:
         stats = campaign.run(6)
         assert stats.ok, stats.summary()
         assert stats.seeds_run == 6
-        # 3 pipelines x (C kernel + affine module + 2 driver-diff
-        # checks) + expectation check
-        assert stats.checks == 6 * 13
+        # 4 pipelines x (C kernel + affine module + 2 driver-diff
+        # checks) + tdl and synth expectation checks
+        assert stats.checks == 6 * 18
         assert stats.stages_checked > stats.checks
-        assert not os.path.exists(tmp_path / "ff")  # no failures, no dir
+        # No failures -> no failure artifacts; only the near-miss
+        # corpus (persisted regardless of verdict) may exist.
+        leftovers = (
+            os.listdir(tmp_path / "ff")
+            if os.path.exists(tmp_path / "ff")
+            else []
+        )
+        assert leftovers in ([], ["near-miss"])
 
     def test_time_limit_stops_early(self, tmp_path):
         campaign = FuzzCampaign(out_dir=str(tmp_path / "ff"))

@@ -1,0 +1,126 @@
+"""The RaiseStats taxonomy: per-pattern TDL accounting via
+``match_explain`` (one unit kernel per bail reason) and the
+merge/snapshot reporting surface."""
+
+import pytest
+
+from repro.dialects.affine import AffineForOp
+from repro.met import compile_c
+from repro.raising import RaiseStats, SYNTH_BAIL_REASONS, TDL_BAIL_REASONS
+from repro.tactics.raising import gemm_tactic
+
+#: reason -> (kernel, match the outer loop?).  Each kernel makes the
+#: gemm matcher bail for exactly that reason.
+TDL_BAIL_KERNELS = {
+    "structure-mismatch": (
+        "void kernel(float A[4][3], float B[4][5], float C[3][5]) {"
+        " for (int i = 0; i < 3; i++)"
+        " for (int j = 0; j < 5; j++)"
+        " for (int k = 0; k < 4; k++)"
+        " C[i][j] += A[k][i] * B[k][j]; }"
+    ),
+    "depth-mismatch": (
+        "void kernel(float A[3][4], float x[4], float y[3]) {"
+        " for (int i = 0; i < 3; i++)"
+        " for (int j = 0; j < 4; j++)"
+        " y[i] += A[i][j] * x[j]; }"
+    ),
+    "body-shape": (
+        "void kernel(float A[3][4], float B[4][5], float C[3][5]) {"
+        " for (int i = 0; i < 3; i++)"
+        " for (int j = 0; j < 5; j++)"
+        " for (int k = 0; k < 4; k++)"
+        " C[i][j] -= A[i][k] * B[k][j]; }"
+    ),
+    "non-constant-trip": (
+        "void kernel(float A[3][4], float B[4][5], float C[3][5], int n) {"
+        " for (int i = 0; i < n; i++)"
+        " for (int j = 0; j < 5; j++)"
+        " for (int k = 0; k < 4; k++)"
+        " C[i][j] += A[i][k] * B[k][j]; }"
+    ),
+}
+
+GEMM = (
+    "void kernel(float A[3][4], float B[4][5], float C[3][5]) {"
+    " for (int i = 0; i < 3; i++)"
+    " for (int j = 0; j < 5; j++)"
+    " for (int k = 0; k < 4; k++)"
+    " C[i][j] += A[i][k] * B[k][j]; }"
+)
+
+
+def _loops(source):
+    module = compile_c(source, distribute=False)
+    func = module.lookup("kernel")
+    return [op for op in func.walk() if isinstance(op, AffineForOp)]
+
+
+class TestMatchExplain:
+    def test_gemm_matches(self):
+        result, reason = gemm_tactic().match_explain(_loops(GEMM)[0])
+        assert result is not None and reason == "matched"
+
+    def test_inner_loop_root(self):
+        result, reason = gemm_tactic().match_explain(_loops(GEMM)[-1])
+        assert result is None and reason == "inner-loop-root"
+
+    @pytest.mark.parametrize("reason", sorted(TDL_BAIL_KERNELS))
+    def test_bail_reasons(self, reason):
+        result, got = gemm_tactic().match_explain(
+            _loops(TDL_BAIL_KERNELS[reason])[0]
+        )
+        assert result is None and got == reason
+
+    def test_probed_reasons_are_in_taxonomy(self):
+        probed = set(TDL_BAIL_KERNELS) | {"inner-loop-root"}
+        assert probed <= set(TDL_BAIL_REASONS)
+
+    def test_taxonomies_are_disjoint_surfaces(self):
+        # A TDL reason never leaks into a synth report or vice versa.
+        assert not set(TDL_BAIL_REASONS) & set(SYNTH_BAIL_REASONS)
+
+
+class TestRaiseStats:
+    def test_record_tdl_accounting(self):
+        stats = RaiseStats()
+        stats.record_tdl("GEMM", "matched")
+        stats.record_tdl("GEMM", "depth-mismatch")
+        stats.record_tdl("GEMM", "depth-mismatch")
+        entry = stats.snapshot()["tdl"]["GEMM"]
+        assert entry["attempted"] == 3
+        assert entry["matched"] == 1
+        assert entry["bailed"] == 2
+        assert entry["bail_reasons"] == {"depth-mismatch": 2}
+
+    def test_record_synth_accounting(self):
+        stats = RaiseStats()
+        stats.record_synth_raise("linalg.generic")
+        stats.record_synth_bail("validation-failed")
+        synth = stats.snapshot()["synth"]
+        assert synth["nests_attempted"] == 2
+        assert synth["nests_raised"] == 1
+        assert synth["raised_ops"] == {"linalg.generic": 1}
+        assert synth["bail_reasons"] == {"validation-failed": 1}
+
+    def test_merge_folds_both_tiers(self):
+        left, right = RaiseStats(), RaiseStats()
+        left.record_tdl("GEMM", "matched")
+        right.record_tdl("GEMM", "body-shape")
+        right.record_tdl("FILL", "matched")
+        right.record_synth_raise("linalg.matmul")
+        right.candidates_enumerated = 5
+        left.merge(right)
+        snap = left.snapshot()
+        assert snap["tdl"]["GEMM"]["attempted"] == 2
+        assert snap["tdl"]["FILL"]["matched"] == 1
+        assert snap["synth"]["nests_raised"] == 1
+        assert snap["synth"]["candidates_enumerated"] == 5
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        stats = RaiseStats()
+        stats.record_tdl("GEMM", "iv-binding")
+        stats.record_synth_bail("no-candidate")
+        assert json.loads(json.dumps(stats.snapshot()))
