@@ -11,7 +11,10 @@ from .engine import (  # noqa: F401
     ExecutionEngine,
     KERNEL_CACHE,
     KernelCache,
+    OPT_MODES,
+    OptStats,
     run_function_compiled,
+    run_optimizer,
 )
 from .machines import AMD_2920X, INTEL_I9_9900K, Machine  # noqa: F401
 from .cost_model import (  # noqa: F401

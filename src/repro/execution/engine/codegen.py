@@ -48,7 +48,7 @@ VECTORIZE_MODES = ("nest", "innermost", "none")
 #: any change to generated-source semantics (vectorizer strategy,
 #: emitter output, runtime helper contracts) so persistent disk caches
 #: written by an older code generator are never re-served.
-CODEGEN_VERSION = 3
+CODEGEN_VERSION = 4
 
 
 def _np_dtype_literal(elem_type) -> str:
@@ -303,7 +303,10 @@ def _emit_affine_for(ctx: _FuncContext, op: AffineForOp) -> None:
     is_root = ctx.nest_depth == 0
     if is_root:
         ctx.nest_collapsed_any = False
-    if mode != "none":
+    # The mid-level optimizer tags the loops it tiles: a tiled band was
+    # proven non-collapsible pre-tiling, so skip the vectorize attempt
+    # rather than re-recording the same bail 2d times.
+    if mode != "none" and not getattr(op, "_opt_no_vectorize", False):
         band = collect_band(op)
         if mode == "innermost" and len(band) > 1:
             band = None  # emulate the innermost-only vectorizer
@@ -768,17 +771,23 @@ class CompiledModule:
 
     ``vectorize_stats`` is the codegen-time :class:`~.vectorize.
     VectorizeStats` snapshot (``None`` for kernels re-hydrated from a
-    pre-stats disk artifact).
+    pre-stats disk artifact); ``opt_stats`` is the mid-level
+    optimizer's :class:`~.optimizer.OptStats` snapshot (``None`` when
+    the engine compiled with ``opt_mode="none"``).
     """
 
     key: str
     source: str
     functions: Dict[str, Callable]
     vectorize_stats: Optional[dict] = None
+    opt_stats: Optional[dict] = None
 
 
 def load_compiled_source(
-    source: str, key: str = "", vectorize_stats: Optional[dict] = None
+    source: str,
+    key: str = "",
+    vectorize_stats: Optional[dict] = None,
+    opt_stats: Optional[dict] = None,
 ) -> CompiledModule:
     """``compile()`` + ``exec`` already-generated kernel source.
 
@@ -803,6 +812,7 @@ def load_compiled_source(
         source=source,
         functions=functions,
         vectorize_stats=vectorize_stats,
+        opt_stats=opt_stats,
     )
 
 

@@ -132,6 +132,7 @@ class DiskKernelCache:
                 payload["source"],
                 key,
                 vectorize_stats=payload.get("vectorize_stats"),
+                opt_stats=payload.get("opt_stats"),
             )
         except Exception:
             # An artifact that no longer execs (e.g. written by an
@@ -150,6 +151,9 @@ class DiskKernelCache:
         stats = getattr(compiled, "vectorize_stats", None)
         if stats is not None:
             payload["vectorize_stats"] = stats
+        opt_stats = getattr(compiled, "opt_stats", None)
+        if opt_stats is not None:
+            payload["opt_stats"] = opt_stats
         self._write_payload(key, payload)
 
     # -- text artifacts (printed IR, batch outputs) --------------------

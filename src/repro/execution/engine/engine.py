@@ -36,6 +36,11 @@ class ExecutionEngine:
     ``vectorize-diff`` oracle and the mode-comparison benchmarks never
     share kernels across modes and a code-generator upgrade never
     re-serves kernels from a stale persistent cache.
+
+    ``opt_mode`` (see :data:`~.optimizer.OPT_MODES`) selects the
+    mid-level loop-optimizer pipeline run before codegen.  The caller's
+    module is never mutated: optimization happens on a clone, inside
+    the cache-miss builder, and the mode is folded into the cache tag.
     """
 
     def __init__(
@@ -44,26 +49,45 @@ class ExecutionEngine:
         pipeline: str = "",
         cache: Optional[KernelCache] = None,
         vectorize: str = "nest",
+        opt_mode: str = "none",
     ):
+        from .optimizer import OPT_MODES, run_optimizer
+
         if vectorize not in VECTORIZE_MODES:
             raise EngineError(
                 f"engine: unknown vectorize mode {vectorize!r}; "
                 f"known: {VECTORIZE_MODES}"
             )
+        if opt_mode not in OPT_MODES:
+            raise EngineError(
+                f"engine: unknown opt mode {opt_mode!r}; known: {OPT_MODES}"
+            )
         self.module = module
         self.pipeline = pipeline
         self.vectorize = vectorize
+        self.opt_mode = opt_mode
         self.cache = cache if cache is not None else KERNEL_CACHE
-        # The codegen version and vectorize mode are folded in
-        # unconditionally so persistent disk caches written by an older
-        # code generator (or another mode) never serve stale kernels.
+        # The codegen version, vectorize mode, and opt mode are folded
+        # in unconditionally so persistent disk caches written by an
+        # older code generator (or another mode) never serve stale
+        # kernels.
         cache_tag = (
             f"{pipeline}#cg={CODEGEN_VERSION}#vectorize={vectorize}"
+            f"#opt={opt_mode}"
         )
+
+        def _build(key: str) -> CompiledModule:
+            target = module
+            opt_stats = None
+            if opt_mode != "none":
+                target = module.clone()
+                opt_stats = run_optimizer(target, opt_mode).snapshot()
+            compiled = compile_module(target, key, vectorize=vectorize)
+            compiled.opt_stats = opt_stats
+            return compiled
+
         self.compiled: CompiledModule = self.cache.get_or_compile(
-            module,
-            cache_tag,
-            lambda key: compile_module(module, key, vectorize=vectorize),
+            module, cache_tag, _build
         )
 
     @property
@@ -77,6 +101,13 @@ class ExecutionEngine:
         ``None`` when the kernel was re-hydrated from a disk artifact
         that predates stats."""
         return getattr(self.compiled, "vectorize_stats", None)
+
+    @property
+    def opt_stats(self) -> Optional[dict]:
+        """Mid-level optimizer decisions for this kernel, or ``None``
+        when the engine compiled with ``opt_mode="none"`` (or the
+        kernel was re-hydrated from a pre-optimizer disk artifact)."""
+        return getattr(self.compiled, "opt_stats", None)
 
     def stats(self) -> dict:
         return self.cache.stats.snapshot()

@@ -175,6 +175,19 @@ def try_vectorize_band(
     return True
 
 
+def band_collapses(band: List[AffineForOp]) -> bool:
+    """Pure legality query: would :func:`try_vectorize_band` accept this
+    band?  Runs the analysis phase only (which never touches the
+    emission context), records nothing, and emits nothing.  Used by the
+    mid-level optimizer's tiling heuristic to leave vectorizable nests
+    alone."""
+    try:
+        _Vectorizer(None, list(band), allow_contraction=True)
+    except _Bail:
+        return False
+    return True
+
+
 def _access_signature(op) -> tuple:
     """Structural identity of an affine access: same map results over
     the same index SSA values on the same buffer."""

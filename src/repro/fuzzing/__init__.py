@@ -39,6 +39,7 @@ from .oracle import (  # noqa: F401
     StageResult,
     build_pipelines,
     check_module,
+    check_opt_module,
     run_oracle,
     run_oracle_on_module,
 )

@@ -22,6 +22,7 @@ from .oracle import (
     StageResult,
     check_engine_module,
     check_module,
+    check_opt_module,
     check_vectorize_module,
     make_args,
     module_arg_shapes,
@@ -39,7 +40,8 @@ class BisectionResult:
     #: 0-based position of the culprit in the flattened pass list.
     index: Optional[int] = None
     #: Failure kind (crash | verify | roundtrip | execute | diff |
-    #: engine | engine-diff | vectorize | vectorize-diff).
+    #: engine | engine-diff | vectorize | vectorize-diff | opt |
+    #: opt-diff).
     kind: str = ""
     detail: str = ""
 
@@ -66,6 +68,7 @@ def bisect_pipeline(
     max_steps: int = 20_000_000,
     check_engine: bool = True,
     check_vectorize: bool = True,
+    check_opt: bool = True,
 ) -> BisectionResult:
     """Replay ``pipeline`` pass-by-pass over a C source (str) or a
     pristine module (ModuleOp) and locate the first breaking pass."""
@@ -166,6 +169,24 @@ def bisect_pipeline(
                     index=position,
                     kind=vec_result.kind,
                     detail=vec_result.detail,
+                )
+        if check_opt:
+            opt_result = check_opt_module(
+                module,
+                func_name,
+                base_args,
+                outputs,
+                stage_name,
+                pipeline_name=pipeline.name,
+                rtol=rtol,
+            )
+            if not opt_result.ok:
+                return BisectionResult(
+                    culprit_pass=pass_name,
+                    stage=stage_name,
+                    index=position,
+                    kind=opt_result.kind,
+                    detail=opt_result.detail,
                 )
     return BisectionResult(culprit_pass=None)
 

@@ -89,6 +89,13 @@ class CampaignStats:
     elapsed: float = 0.0
     failures: List[FuzzFailure] = field(default_factory=list)
     hit_time_limit: bool = False
+    #: Vectorizer bail-reason taxonomies aggregated over every opt-diff
+    #: engine compile of the campaign, keyed by reason — one for the
+    #: optimizer disabled, one for the full pipeline.  The whole point
+    #: of the mid-level optimizer is that ``bail_full`` sums strictly
+    #: lower than ``bail_none`` on a mixed corpus.
+    bail_none: Dict[str, int] = field(default_factory=dict)
+    bail_full: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -98,6 +105,12 @@ class CampaignStats:
     def unreduced_failures(self) -> List[FuzzFailure]:
         return [f for f in self.failures if not f.reduced]
 
+    def merge_bails(self, sink: Dict[str, Dict[str, int]]) -> None:
+        """Fold one seed's per-opt-mode bail taxonomy into the totals."""
+        for target, mode in ((self.bail_none, "none"), (self.bail_full, "full")):
+            for reason, count in sink.get(mode, {}).items():
+                target[reason] = target.get(reason, 0) + count
+
     def summary(self) -> str:
         status = "ok" if self.ok else f"{len(self.failures)} FAILURES"
         lines = [
@@ -106,6 +119,19 @@ class CampaignStats:
             f"in {self.elapsed:.1f}s: {status}"
             + (" (time limit reached)" if self.hit_time_limit else "")
         ]
+        if self.bail_none or self.bail_full:
+            total_none = sum(self.bail_none.values())
+            total_full = sum(self.bail_full.values())
+            lines.append(
+                f"mlt-fuzz: vectorizer bails across corpus: "
+                f"{total_none} with opt=none -> {total_full} with opt=full"
+            )
+            reasons = sorted(set(self.bail_none) | set(self.bail_full))
+            for reason in reasons:
+                lines.append(
+                    f"  {reason}: {self.bail_none.get(reason, 0)} -> "
+                    f"{self.bail_full.get(reason, 0)}"
+                )
         for failure in self.failures:
             lines.append(failure.summary())
         return "\n".join(lines)
@@ -126,6 +152,7 @@ class FuzzCampaign:
         check_drivers: bool = True,
         check_vectorize: bool = True,
         check_synth: bool = True,
+        check_opt: bool = True,
     ):
         self.out_dir = out_dir
         self.rtol = rtol
@@ -135,6 +162,7 @@ class FuzzCampaign:
         self.check_drivers = check_drivers
         self.check_vectorize = check_vectorize
         self.check_synth = check_synth
+        self.check_opt = check_opt
         self.write_artifacts = write_artifacts
         registry = build_pipelines(fuzz_tile_size)
         if extra_pipelines:
@@ -176,6 +204,7 @@ class FuzzCampaign:
     ) -> List[FuzzFailure]:
         stats = stats if stats is not None else CampaignStats()
         failures: List[FuzzFailure] = []
+        bail_sink: Dict[str, Dict[str, int]] = {}
         kernel = generate_kernel(seed)
         expectation = self._check_expectation(seed, kernel)
         stats.checks += 1
@@ -198,6 +227,8 @@ class FuzzCampaign:
                 max_steps=self.max_steps,
                 check_engine=self.check_engine,
                 check_vectorize=self.check_vectorize,
+                check_opt=self.check_opt,
+                bail_sink=bail_sink,
             )
             stats.checks += 1
             stats.stages_checked += len(report.stages)
@@ -236,6 +267,8 @@ class FuzzCampaign:
                     max_steps=self.max_steps,
                     check_engine=self.check_engine,
                     check_vectorize=self.check_vectorize,
+                    check_opt=self.check_opt,
+                    bail_sink=bail_sink,
                 )
                 stats.checks += 1
                 stats.stages_checked += len(report.stages)
@@ -259,6 +292,7 @@ class FuzzCampaign:
                         stats,
                     )
                 )
+        stats.merge_bails(bail_sink)
         return failures
 
     def _run_driver_checks(
@@ -469,6 +503,7 @@ class FuzzCampaign:
             max_steps=self.max_steps,
             check_engine=self.check_engine,
             check_vectorize=self.check_vectorize,
+            check_opt=self.check_opt,
         )
 
         def still_fails(candidate: str) -> bool:
@@ -481,6 +516,7 @@ class FuzzCampaign:
                 max_steps=self.max_steps,
                 check_engine=self.check_engine,
                 check_vectorize=self.check_vectorize,
+                check_opt=self.check_opt,
             )
             failure = candidate_report.first_failure
             original = report.first_failure
@@ -515,6 +551,7 @@ class FuzzCampaign:
             max_steps=self.max_steps,
             check_engine=self.check_engine,
             check_vectorize=self.check_vectorize,
+            check_opt=self.check_opt,
         )
         failure = FuzzFailure(
             seed=seed,

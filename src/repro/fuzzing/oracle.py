@@ -19,7 +19,13 @@ stage*, and after every stage checks the module snapshot three ways:
    each other and with the interpreter on the same snapshot (reported
    as ``vectorize-diff:<stage>``; disable with
    ``check_vectorize=False`` or ``mlt-fuzz --no-vectorize-diff``);
-6. **driver-diff** — the worklist and snapshot greedy pattern drivers
+6. **opt-diff** — the engine compiled with the mid-level loop
+   optimizer fully enabled (``opt_mode="full"``) and disabled
+   (``opt_mode="none"``) must agree with each other and with the
+   interpreter on the same snapshot (reported as
+   ``opt-diff:<stage>``; disable with ``check_opt=False`` or
+   ``mlt-fuzz --no-opt-diff``);
+7. **driver-diff** — the worklist and snapshot greedy pattern drivers
    must produce byte-identical printed IR for the whole pipeline
    (:func:`check_driver_equivalence`; disable with
    ``check_drivers=False`` or ``mlt-fuzz --no-driver-diff``).
@@ -196,7 +202,8 @@ class StageResult:
     stage: str
     ok: bool
     # ok | crash | verify | roundtrip | execute | diff | engine |
-    # engine-diff | vectorize | vectorize-diff | driver-diff
+    # engine-diff | vectorize | vectorize-diff | opt | opt-diff |
+    # driver-diff
     kind: str = "ok"
     detail: str = ""
     ir_text: str = ""
@@ -435,6 +442,73 @@ def check_vectorize_module(
     return StageResult(result_name, True, "ok", "", ir_text)
 
 
+def check_opt_module(
+    module: ModuleOp,
+    func_name: str,
+    base_args: Sequence[np.ndarray],
+    interpreter_outputs: Sequence[np.ndarray],
+    stage_name: str,
+    pipeline_name: str = "",
+    rtol: float = 2e-3,
+    ir_text: str = "",
+    bail_sink: Optional[Dict[str, Dict[str, int]]] = None,
+) -> StageResult:
+    """Cross-check the mid-level optimizer against the plain engine.
+
+    Compiles the snapshot twice — once with the optimizer disabled
+    (``opt_mode="none"``) and once with the full pipeline
+    (``opt_mode="full"``: fusion, copy-elim/DCE, distribution,
+    cache-blocking tiling) — and requires both to match the interpreter
+    and each other within ``rtol``.  When ``bail_sink`` is given, each
+    engine's ``vectorize_stats["bail_reasons"]`` taxonomy is accumulated
+    under its opt mode, so a campaign can report how many vectorizer
+    bails the optimizer eliminated across the whole corpus.
+    """
+    from ..execution import ExecutionEngine
+
+    result_name = f"opt-diff:{stage_name}"
+    outputs: Dict[str, List[np.ndarray]] = {}
+    for mode in ("none", "full"):
+        try:
+            args = [a.copy() for a in base_args]
+            engine = ExecutionEngine(
+                module,
+                pipeline=f"{pipeline_name}:{stage_name}",
+                opt_mode=mode,
+            )
+            engine.run(func_name, *args)
+        except Exception as exc:
+            return StageResult(
+                result_name, False, "opt", f"opt={mode}: {exc}", ir_text
+            )
+        outputs[mode] = args
+        if bail_sink is not None:
+            stats = engine.vectorize_stats or {}
+            sink = bail_sink.setdefault(mode, {})
+            for reason, count in (stats.get("bail_reasons") or {}).items():
+                sink[reason] = sink.get(reason, 0) + count
+    for mode in ("none", "full"):
+        detail = _diff_detail(interpreter_outputs, outputs[mode], rtol)
+        if detail:
+            return StageResult(
+                result_name,
+                False,
+                "opt-diff",
+                f"opt={mode} vs interpreter: {detail}",
+                ir_text,
+            )
+    detail = _diff_detail(outputs["none"], outputs["full"], rtol)
+    if detail:
+        return StageResult(
+            result_name,
+            False,
+            "opt-diff",
+            f"none vs full: {detail}",
+            ir_text,
+        )
+    return StageResult(result_name, True, "ok", "", ir_text)
+
+
 def check_driver_equivalence(
     module: ModuleOp, pipeline: Pipeline
 ) -> StageResult:
@@ -498,6 +572,8 @@ def run_oracle(
     max_steps: int = 20_000_000,
     check_engine: bool = True,
     check_vectorize: bool = True,
+    check_opt: bool = True,
+    bail_sink: Optional[Dict[str, Dict[str, int]]] = None,
 ) -> OracleReport:
     """Differentially test one C kernel against one pipeline."""
     report = OracleReport(pipeline.name, func_name)
@@ -513,6 +589,7 @@ def run_oracle(
     return _drive_stages(
         report, module, pipeline, func_name, seed, rtol, max_steps,
         check_engine=check_engine, check_vectorize=check_vectorize,
+        check_opt=check_opt, bail_sink=bail_sink,
     )
 
 
@@ -525,12 +602,15 @@ def run_oracle_on_module(
     max_steps: int = 20_000_000,
     check_engine: bool = True,
     check_vectorize: bool = True,
+    check_opt: bool = True,
+    bail_sink: Optional[Dict[str, Dict[str, int]]] = None,
 ) -> OracleReport:
     """Differentially test a builder-constructed module (skips MET)."""
     report = OracleReport(pipeline.name, func_name)
     return _drive_stages(
         report, module.clone(), pipeline, func_name, seed, rtol, max_steps,
         check_engine=check_engine, check_vectorize=check_vectorize,
+        check_opt=check_opt, bail_sink=bail_sink,
     )
 
 
@@ -544,6 +624,8 @@ def _drive_stages(
     max_steps: int,
     check_engine: bool = True,
     check_vectorize: bool = True,
+    check_opt: bool = True,
+    bail_sink: Optional[Dict[str, Dict[str, int]]] = None,
 ) -> OracleReport:
     shapes = module_arg_shapes(module, func_name)
     base_args = make_args(shapes, seed)
@@ -596,6 +678,21 @@ def _drive_stages(
             )
             report.stages.append(vec_result)
             if not vec_result.ok:
+                return report
+        if check_opt:
+            opt_result = check_opt_module(
+                module,
+                func_name,
+                base_args,
+                outputs,
+                stage.name,
+                pipeline_name=pipeline.name,
+                rtol=rtol,
+                ir_text=result.ir_text,
+                bail_sink=bail_sink,
+            )
+            report.stages.append(opt_result)
+            if not opt_result.ok:
                 return report
         if reference is None:
             reference = outputs

@@ -37,17 +37,25 @@ def _init_worker(config: dict) -> None:
     _WORKER_CAMPAIGN = FuzzCampaign(**config)
 
 
-def _run_unit(seed: int) -> Tuple[int, int, int, list]:
+def _run_unit(seed: int) -> Tuple[int, int, int, list, dict, dict]:
     """Run one seed on this worker's campaign.
 
-    Returns ``(seed, checks, stages_checked, failures)`` — all plain
-    picklable data (failure reports are string/int dataclasses).
+    Returns ``(seed, checks, stages_checked, failures, bail_none,
+    bail_full)`` — all plain picklable data (failure reports are
+    string/int dataclasses, bail taxonomies are str->int dicts).
     """
     from ..fuzzing.campaign import CampaignStats
 
     local = CampaignStats()
     failures = _WORKER_CAMPAIGN.run_seed(seed, local)
-    return seed, local.checks, local.stages_checked, failures
+    return (
+        seed,
+        local.checks,
+        local.stages_checked,
+        failures,
+        local.bail_none,
+        local.bail_full,
+    )
 
 
 def run_campaign_parallel(
@@ -87,11 +95,14 @@ def run_campaign_parallel(
             initializer=_init_worker,
             initargs=(config,),
         )
-        for seed, checks, stages_checked, failures in results:
+        for seed, checks, stages_checked, failures, bail_none, bail_full in (
+            results
+        ):
             stats.seeds_run += 1
             stats.checks += checks
             stats.stages_checked += stages_checked
             stats.failures.extend(failures)
+            stats.merge_bails({"none": bail_none, "full": bail_full})
     stats.elapsed = time.perf_counter() - started
     return stats
 

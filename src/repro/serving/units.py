@@ -184,12 +184,20 @@ def normalize_request(
     tile = request.get("tile", default_tile)
     if not isinstance(tile, int) or tile <= 0:
         raise BadRequest("tile must be a positive integer")
+    opt_mode = request.get("opt_mode", "full")
+    from ..execution.engine.optimizer import OPT_MODES
+
+    if opt_mode not in OPT_MODES:
+        raise BadRequest(
+            f"opt_mode must be one of {'|'.join(OPT_MODES)}"
+        )
 
     spec = {
         "tenant": tenant,
         "execute": execute,
         "seed": seed,
         "tile": tile,
+        "opt_mode": opt_mode,
         "warm_hot": bool(request.get("warm_hot", execute)),
     }
 
@@ -277,12 +285,17 @@ def spec_module_key(spec: dict) -> str:
     """
     from ..runtime.batch import module_cache_key
 
+    opt = spec.get("opt_mode", "full")
     if spec["mode"] == "corpus":
         return module_cache_key(
-            spec["source"], [spec["pipeline"]], f"tile={spec['tile']}"
+            spec["source"],
+            [spec["pipeline"]],
+            f"tile={spec['tile']}|opt={opt}",
         )
     return module_cache_key(
-        spec["source"], spec["passes"], f"serve:{spec['source_kind']}"
+        spec["source"],
+        spec["passes"],
+        f"serve:{spec['source_kind']}|opt={opt}",
     )
 
 
@@ -325,7 +338,8 @@ def _kernel_tag(spec: dict) -> str:
         pipeline = f"{spec['pipeline']}|tile={spec['tile']}"
     else:
         pipeline = ",".join(spec["passes"])
-    return f"serve:{pipeline}#cg={CODEGEN_VERSION}"
+    opt = spec.get("opt_mode", "full")
+    return f"serve:{pipeline}#cg={CODEGEN_VERSION}#opt={opt}"
 
 
 def serve_unit(spec: dict) -> dict:
@@ -365,6 +379,14 @@ def serve_unit(spec: dict) -> dict:
         from ..ir import print_module
 
         module = _build_module(spec)
+        # Optimize before printing so persisted module text — and
+        # every kernel (cold or warm) derived from it — reflects the
+        # mid-level optimizer's output.
+        opt_mode = spec.get("opt_mode", "full")
+        if opt_mode != "none":
+            from ..execution.engine.optimizer import run_optimizer
+
+            run_optimizer(module, opt_mode)
         text = print_module(module)
         if module_cache is not None:
             module_cache.store_text(mkey, text)

@@ -40,11 +40,13 @@ def _pass_registry(raise_mode: str = "tdl") -> Dict[str, Callable[[], Pass]]:
     from .transforms import (
         AffineToSCFPass,
         CanonicalizePass,
+        CopyEliminationPass,
         DelinearizationPass,
         ExpandAffineMatmulPass,
         LinalgToAffinePass,
         LinalgToBlasPass,
         LoopDistributionPass,
+        LoopFusionPass,
         LowerBlasToLLVMPass,
         SCFToAffinePass,
         SCFToLLVMPass,
@@ -52,6 +54,8 @@ def _pass_registry(raise_mode: str = "tdl") -> Dict[str, Callable[[], Pass]]:
     )
 
     return {
+        "affine-loop-fusion": LoopFusionPass,
+        "affine-copy-elimination": CopyEliminationPass,
         "affine-loop-distribution": LoopDistributionPass,
         "affine-delinearize": DelinearizationPass,
         "raise-scf-to-affine": SCFToAffinePass,
@@ -217,6 +221,20 @@ def main(argv: List[str] = None) -> int:
         "contractions, LICM hoists, bail reasons) to stderr",
     )
     parser.add_argument(
+        "--opt-mode",
+        choices=["none", "fuse", "full"],
+        default="none",
+        help="with --execute --engine compiled: mid-level loop-optimizer "
+        "pipeline run before codegen (fusion, copy-elim/DCE, "
+        "distribution, cache-blocking tiling; default: none)",
+    )
+    parser.add_argument(
+        "--opt-stats",
+        action="store_true",
+        help="with --execute --engine compiled: print the optimizer's "
+        "per-stage OptStats taxonomy to stderr",
+    )
+    parser.add_argument(
         "--raise-mode",
         choices=["tdl", "synth", "tdl+synth"],
         default="tdl",
@@ -287,13 +305,15 @@ def main(argv: List[str] = None) -> int:
                 args.engine,
                 args.exec_seed,
                 engine_stats=args.engine_stats,
+                opt_mode=args.opt_mode,
+                opt_stats=args.opt_stats,
             )
         except Exception as exc:
             sys.stderr.write(f"mlt-opt: --execute: {exc}\n")
             return 1
-    elif args.engine_stats:
+    elif args.engine_stats or args.opt_stats:
         sys.stderr.write(
-            "mlt-opt: --engine-stats needs --execute FUNC "
+            "mlt-opt: --engine-stats/--opt-stats need --execute FUNC "
             "--engine compiled\n"
         )
     if args.cache_stats:
@@ -394,6 +414,8 @@ def _execute_module(
     engine: str,
     seed: int,
     engine_stats: bool = False,
+    opt_mode: str = "none",
+    opt_stats: bool = False,
 ) -> None:
     """Run one function on deterministic random inputs and report a
     checksum per output buffer (the two --engine backends must print
@@ -405,7 +427,9 @@ def _execute_module(
     if engine == "compiled":
         from .execution import ExecutionEngine
 
-        compiled = ExecutionEngine(module, pipeline="mlt-opt")
+        compiled = ExecutionEngine(
+            module, pipeline="mlt-opt", opt_mode=opt_mode
+        )
         compiled.run(func_name, *args)
         if engine_stats:
             import json
@@ -420,14 +444,28 @@ def _execute_module(
                 )
                 + "\n"
             )
+        if opt_stats:
+            import json
+
+            stats = compiled.opt_stats
+            sys.stderr.write(
+                "mlt-opt: opt stats: "
+                + (
+                    json.dumps(stats, sort_keys=True)
+                    if stats is not None
+                    else "unavailable (opt-mode none or pre-optimizer "
+                    "artifact)"
+                )
+                + "\n"
+            )
     else:
         from .execution import Interpreter
 
         Interpreter(module).run(func_name, *args)
-        if engine_stats:
+        if engine_stats or opt_stats:
             sys.stderr.write(
-                "mlt-opt: --engine-stats: interpreter backend has no "
-                "vectorizer; use --engine compiled\n"
+                "mlt-opt: --engine-stats/--opt-stats: interpreter backend "
+                "has no vectorizer/optimizer; use --engine compiled\n"
             )
     for pos, buf in enumerate(args):
         sys.stderr.write(
@@ -527,6 +565,12 @@ def fuzz_main(argv: List[str] = None) -> int:
         action="store_true",
         help="skip the synthesis-raising expectation oracle",
     )
+    parser.add_argument(
+        "--no-opt-diff",
+        action="store_true",
+        help="skip the mid-level-optimizer (opt-mode none vs full) "
+        "engine cross-check",
+    )
     args = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
 
     pipelines = args.pipelines.split(",") if args.pipelines else None
@@ -540,6 +584,7 @@ def fuzz_main(argv: List[str] = None) -> int:
         check_drivers=not args.no_driver_diff,
         check_vectorize=not args.no_vectorize_diff,
         check_synth=not args.no_synth_diff,
+        check_opt=not args.no_opt_diff,
     )
     try:
         campaign = FuzzCampaign(**campaign_config)

@@ -17,7 +17,17 @@ from .lowering import (  # noqa: F401
     lowering_pipeline,
 )
 from .tiling import TileLoopNestPass, TilingError, tile_perfect_nest  # noqa: F401
-from .fusion import can_fuse, fuse_sibling_loops, greedy_fuse  # noqa: F401
+from .fusion import (  # noqa: F401
+    LoopFusionPass,
+    can_fuse,
+    fuse_sibling_loops,
+    greedy_fuse,
+)
+from .copy_elimination import (  # noqa: F401
+    CopyEliminationPass,
+    CopyElimResult,
+    copy_eliminate,
+)
 from .delinearization import (  # noqa: F401
     DelinearizationPass,
     delinearize_accesses,

@@ -1,11 +1,17 @@
 """Loop fusion of sibling loop nests.
 
 The inverse of distribution; used by the Pluto baseline's fusion
-heuristics (smartfuse / maxfuse / nofuse).  Fusing ``for i {S1}`` with
-a following ``for i {S2}`` is legal when every pair of conflicting
-accesses between the two bodies touches the same element in the same
-iteration (dependence distance 0) — the conservative mirror image of
-the distribution test.
+heuristics (smartfuse / maxfuse / nofuse) and by the engine's mid-level
+optimizer pipeline.  Fusing ``for i {S1}`` with a following
+``for i {S2}`` is legal when every pair of conflicting accesses between
+the two bodies touches the same element in the same iteration
+(dependence distance 0) — the conservative mirror image of the
+distribution test.
+
+Fusion is not restricted to adjacent siblings: ``second`` may be
+separated from ``first`` by intervening operations, as long as moving
+``second``'s iterations up past them is safe (no shared memory with a
+write, no SSA def feeding ``second``).
 """
 
 from __future__ import annotations
@@ -14,15 +20,59 @@ from typing import Dict, List, Optional
 
 from ..analysis.accesses import collect_accesses
 from ..dialects.affine import AffineForOp
-from ..ir import Operation
+from ..ir import FunctionPass, Operation
+
+#: Intervening sibling ops ``second`` may be hoisted across (subject to
+#: the SSA/memory checks below).  Anything else conservatively blocks
+#: non-adjacent fusion: for ops outside this set we cannot enumerate
+#: memory effects with ``collect_accesses``.
+_CROSSABLE_OPS = frozenset(
+    {
+        "affine.for",
+        "affine.load",
+        "affine.store",
+        "affine.apply",
+        "std.constant",
+        "std.addf",
+        "std.subf",
+        "std.mulf",
+        "std.divf",
+        "std.maxf",
+        "std.negf",
+        "std.cmpf",
+        "std.select",
+        "std.addi",
+        "std.subi",
+        "std.muli",
+        "std.index_cast",
+        "std.alloc",
+        "std.dealloc",
+    }
+)
 
 
 def _same_iteration_space(a: AffineForOp, b: AffineForOp) -> bool:
-    return (
-        a.constant_lower_bound() is not None
-        and a.constant_lower_bound() == b.constant_lower_bound()
-        and a.constant_upper_bound() == b.constant_upper_bound()
-        and a.step == b.step
+    """Identical iteration spaces: equal steps and structurally equal
+    bound maps over the *same* bound operands.
+
+    Constant bounds compare through their (constant) maps, and bounds
+    that are equal non-constant expressions of the same SSA operands
+    (symbolic sizes, tile IVs) compare equal too — fusion does not
+    require the bounds to fold to literals.
+    """
+    if a.step != b.step:
+        return False
+    if (
+        a.lower_bound_map != b.lower_bound_map
+        or a.upper_bound_map != b.upper_bound_map
+    ):
+        return False
+    if len(a.lb_operands) != len(b.lb_operands) or len(a.ub_operands) != len(
+        b.ub_operands
+    ):
+        return False
+    return all(x is y for x, y in zip(a.lb_operands, b.lb_operands)) and all(
+        x is y for x, y in zip(a.ub_operands, b.ub_operands)
     )
 
 
@@ -34,8 +84,13 @@ def can_fuse(first: AffineForOp, second: AffineForOp) -> bool:
         return False
     from ..dialects.affine import perfect_nest
 
-    if len(perfect_nest(first)) != len(perfect_nest(second)):
+    first_band = perfect_nest(first)
+    second_band = perfect_nest(second)
+    if len(first_band) != len(second_band):
         return False
+    for f_loop, s_loop in zip(first_band[1:], second_band[1:]):
+        if not _same_iteration_space(f_loop, s_loop):
+            return False
     first_accesses = collect_accesses(first)
     second_accesses = collect_accesses(second)
     for a in first_accesses:
@@ -45,6 +100,20 @@ def can_fuse(first: AffineForOp, second: AffineForOp) -> bool:
             if not _conflict_is_aligned(a, b, first, second):
                 return False
     return True
+
+
+def has_flow(first: AffineForOp, second: AffineForOp) -> bool:
+    """True when the two nests conflict on some buffer (at least one
+    side writes it) — i.e. fusing them brings a producer/consumer pair
+    into one body.  Nests with no flow gain nothing from fusion (they
+    already vectorize independently), and fusing them can *hurt* by
+    producing a multi-store body the vectorizer bails on."""
+    second_accesses = collect_accesses(second)
+    for a in collect_accesses(first):
+        for b in second_accesses:
+            if a.memref is b.memref and (a.is_write or b.is_write):
+                return True
+    return False
 
 
 def _conflict_is_aligned(a, b, first: AffineForOp, second: AffineForOp) -> bool:
@@ -68,17 +137,61 @@ def _conflict_is_aligned(a, b, first: AffineForOp, second: AffineForOp) -> bool:
     return True
 
 
+def _defined_values(op: Operation) -> List:
+    return list(op.results)
+
+
+def _uses_value_of(consumer: Operation, producer: Operation) -> bool:
+    produced = set(id(r) for r in producer.results)
+    if not produced:
+        return False
+    for nested in consumer.walk():
+        for operand in nested.operands:
+            if id(operand) in produced:
+                return True
+    return False
+
+
+def _can_cross(second: AffineForOp, between: List[Operation]) -> bool:
+    """Is it safe to hoist ``second``'s iterations above every op in
+    ``between``?  Requires: no SSA value defined by an intervening op is
+    used inside ``second``, and no intervening op shares a buffer with
+    ``second`` where at least one side writes."""
+    if not between:
+        return True
+    second_accesses = collect_accesses(second)
+    for op in between:
+        for nested in op.walk():
+            if nested.name not in _CROSSABLE_OPS:
+                return False
+        if _uses_value_of(second, op):
+            return False
+        for a in collect_accesses(op):
+            for b in second_accesses:
+                if a.memref is b.memref and (a.is_write or b.is_write):
+                    return False
+    return True
+
+
 def fuse_sibling_loops(first: AffineForOp, second: AffineForOp) -> bool:
-    """Fuse ``second`` into ``first`` if legal.  Returns success."""
+    """Fuse ``second`` into ``first`` if legal.  Returns success.
+
+    ``second`` need not be adjacent to ``first``: intervening siblings
+    are allowed when hoisting ``second`` past them is provably safe
+    (``_can_cross``).
+    """
     if first.parent_block is None or first.parent_block is not second.parent_block:
         return False
     ops = first.parent_block.operations
-    if ops.index(second) != ops.index(first) + 1:
+    first_idx = ops.index(first)
+    second_idx = ops.index(second)
+    if second_idx <= first_idx:
+        return False
+    if not _can_cross(second, ops[first_idx + 1 : second_idx]):
         return False
     if not can_fuse(first, second):
         return False
     insert_at = len(first.body.operations) - 1
-    clone_map = {second.induction_var: first.induction_var}
     second.induction_var.replace_all_uses_with(first.induction_var)
     for op in second.ops_in_body():
         second.body.remove(op)
@@ -88,8 +201,11 @@ def fuse_sibling_loops(first: AffineForOp, second: AffineForOp) -> bool:
     return True
 
 
-def greedy_fuse(root: Operation) -> int:
-    """Fuse adjacent fusable sibling loops under ``root`` (maxfuse)."""
+def greedy_fuse(root: Operation, require_flow: bool = False) -> int:
+    """Fuse fusable sibling loops under ``root`` across whole sibling
+    lists (maxfuse).  With ``require_flow=True`` only producer/consumer
+    pairs fuse — the engine optimizer's policy, which avoids gluing
+    independent nests into multi-store bodies the vectorizer rejects."""
     fused = 0
     changed = True
     while changed:
@@ -99,12 +215,25 @@ def greedy_fuse(root: Operation) -> int:
                 continue
             block = op.parent_block
             idx = block.operations.index(op)
-            if idx + 1 < len(block.operations):
-                neighbor = block.operations[idx + 1]
-                if isinstance(neighbor, AffineForOp) and fuse_sibling_loops(
-                    op, neighbor
-                ):
+            for candidate in block.operations[idx + 1 :]:
+                if not isinstance(candidate, AffineForOp):
+                    continue
+                if require_flow and not has_flow(op, candidate):
+                    continue
+                if fuse_sibling_loops(op, candidate):
                     fused += 1
                     changed = True
                     break
+            if changed:
+                break
     return fused
+
+
+class LoopFusionPass(FunctionPass):
+    name = "affine-loop-fusion"
+
+    def __init__(self, require_flow: bool = False):
+        self.require_flow = require_flow
+
+    def run_on_function(self, func, context):
+        return greedy_fuse(func, require_flow=self.require_flow)

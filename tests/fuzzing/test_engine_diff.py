@@ -37,17 +37,24 @@ class TestEngineDiffStages:
         vectorize_stages = [
             s for s in report.stages if s.stage.startswith("vectorize-diff:")
         ]
+        opt_stages = [
+            s for s in report.stages if s.stage.startswith("opt-diff:")
+        ]
         interp_stages = [
             s
             for s in report.stages
-            if not s.stage.startswith(("engine-diff:", "vectorize-diff:"))
+            if not s.stage.startswith(
+                ("engine-diff:", "vectorize-diff:", "opt-diff:")
+            )
         ]
-        # One engine and one vectorizer cross-check per successfully
-        # interpreted snapshot.
+        # One engine, one vectorizer, and one optimizer cross-check per
+        # successfully interpreted snapshot.
         assert len(engine_stages) == len(interp_stages)
         assert len(vectorize_stages) == len(interp_stages)
+        assert len(opt_stages) == len(interp_stages)
         assert all(s.kind == "ok" for s in engine_stages)
         assert all(s.kind == "ok" for s in vectorize_stages)
+        assert all(s.kind == "ok" for s in opt_stages)
         assert all(s.ir_text for s in engine_stages)
 
     def test_check_engine_false_omits_stages(self, pipelines):
