@@ -16,6 +16,7 @@ from . import scf  # noqa: F401
 from . import linalg  # noqa: F401
 from . import blas  # noqa: F401
 from . import llvm  # noqa: F401
+from . import transform  # noqa: F401
 
 #: Height of each dialect on the abstraction ladder (Figure 1/2 of the
 #: paper).  Raising moves code to a higher number, lowering to a lower one.
@@ -28,6 +29,8 @@ ABSTRACTION_LEVEL = {
     "blas": 4,
     "func": 5,
     "builtin": 6,
+    # Schedules are meta-IR: they sit above every payload dialect.
+    "transform": 6,
 }
 
 
@@ -39,4 +42,5 @@ def all_dialects() -> List[Dialect]:
         Dialect("linalg", "linear algebra on buffers"),
         Dialect("blas", "vendor-optimized library calls"),
         Dialect("llvm", "low-level CFG representation"),
+        Dialect("transform", "schedules-as-data scripting payload IR"),
     ]

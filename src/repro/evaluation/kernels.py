@@ -87,6 +87,22 @@ def three_mm_source(ni: int, nj: int, nk: int, nl: int, nm: int) -> str:
     )
 
 
+def doitgen_source(nr: int, nq: int, np: int) -> str:
+    """Polybench doitgen as a batched contraction: the multiresolution
+    kernel's innermost product, written to a fresh ``sum`` buffer so
+    every reference stays affine and alias-free."""
+    return (
+        f"void doitgen(float A[{nr}][{nq}][{np}], float C4[{np}][{np}], "
+        f"float sum[{nr}][{nq}][{np}]) {{\n"
+        f"  {_loop('r', nr)}\n    {_loop('q', nq)}\n      {_loop('p', np)}\n"
+        "        sum[r][q][p] = 0.0f;\n"
+        f"  {_loop('r', nr)}\n    {_loop('q', nq)}\n      {_loop('p', np)}\n"
+        f"        {_loop('s', np)}\n"
+        "          sum[r][q][p] += A[r][q][s] * C4[s][p];\n"
+        "}\n"
+    )
+
+
 def atax_source(m: int, n: int) -> str:
     """y = A^T (A x)."""
     return (
@@ -382,6 +398,17 @@ FIG8_BENCHMARKS: Dict[str, KernelSpec] = {
 LEVEL2_KERNELS = [k for k, s in PAPER_BENCHMARKS.items() if s.level == 2]
 LEVEL3_KERNELS = [k for k, s in PAPER_BENCHMARKS.items() if s.level == 3]
 
+#: Kernels outside the paper's Figure-9 corpus, used by the schedule
+#: autotuner's benchmark set (``mlt-tune``).
+EXTRA_BENCHMARKS: Dict[str, KernelSpec] = {
+    "doitgen": KernelSpec(
+        "doitgen", "doitgen",
+        lambda: doitgen_source(150, 140, 160),
+        lambda: doitgen_source(5, 6, 7),
+        level=3, oracle_callsites=1,
+    ),
+}
+
 #: Table II matrix chains: (dims, expected IP/OP parenthesizations)
 TABLE2_CHAINS: List[Tuple[List[int], str, str]] = [
     (
@@ -407,4 +434,6 @@ def get_kernel(name: str) -> KernelSpec:
         return PAPER_BENCHMARKS[name]
     if name in FIG8_BENCHMARKS:
         return FIG8_BENCHMARKS[name]
+    if name in EXTRA_BENCHMARKS:
+        return EXTRA_BENCHMARKS[name]
     raise KeyError(f"unknown benchmark {name!r}")

@@ -636,6 +636,36 @@ EMITTERS: Dict[str, Callable[[_FuncContext, Operation], None]] = {
 }
 
 
+def _emit_transform_op(ctx: "_FuncContext", op: Operation) -> None:
+    # Schedule IR scripts transformations over payload modules; it has
+    # no runtime semantics of its own.
+    raise EngineError(
+        f"engine: {op.name} is schedule IR, not payload: apply it with "
+        "repro.scheduling.apply_schedule instead of compiling it"
+    )
+
+
+EMITTERS.update(
+    {
+        f"transform.{suffix}": _emit_transform_op
+        for suffix in (
+            "sequence",
+            "yield",
+            "match",
+            "fuse",
+            "copy_elim",
+            "dead_loops",
+            "canonicalize",
+            "distribute",
+            "tile",
+            "unroll_jam",
+            "vectorize",
+            "raise",
+        )
+    }
+)
+
+
 # ----------------------------------------------------------------------
 # Function / module generation
 # ----------------------------------------------------------------------

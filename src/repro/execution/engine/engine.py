@@ -50,9 +50,22 @@ class ExecutionEngine:
         cache: Optional[KernelCache] = None,
         vectorize: str = "nest",
         opt_mode: str = "none",
+        tile_size: Optional[int] = None,
+        schedule: Optional[ModuleOp] = None,
     ):
-        from .optimizer import OPT_MODES, run_optimizer
+        from .optimizer import DEFAULT_TILE_SIZE, OPT_MODES, run_optimizer
 
+        if tile_size is None:
+            tile_size = DEFAULT_TILE_SIZE
+        if schedule is not None:
+            from ...scheduling.interpreter import (
+                apply_schedule,
+                schedule_vectorize,
+            )
+
+            requested = schedule_vectorize(schedule)
+            if requested is not None:
+                vectorize = requested
         if vectorize not in VECTORIZE_MODES:
             raise EngineError(
                 f"engine: unknown vectorize mode {vectorize!r}; "
@@ -66,24 +79,40 @@ class ExecutionEngine:
         self.pipeline = pipeline
         self.vectorize = vectorize
         self.opt_mode = opt_mode
+        self.tile_size = tile_size
+        self.schedule = schedule
         self.cache = cache if cache is not None else KERNEL_CACHE
         # The codegen version, vectorize mode, and opt mode are folded
         # in unconditionally so persistent disk caches written by an
         # older code generator (or another mode) never serve stale
-        # kernels.
+        # kernels.  Non-default tile sizes and explicit schedules fold
+        # in conditionally so pre-existing tags stay valid.
         cache_tag = (
             f"{pipeline}#cg={CODEGEN_VERSION}#vectorize={vectorize}"
             f"#opt={opt_mode}"
         )
+        if tile_size != DEFAULT_TILE_SIZE:
+            cache_tag += f"#tile={tile_size}"
+        if schedule is not None:
+            from .cache import fingerprint_module
+
+            cache_tag += f"#sched={fingerprint_module(schedule)[:16]}"
 
         def _build(key: str) -> CompiledModule:
             target = module
             opt_stats = None
-            if opt_mode != "none":
+            schedule_stats = None
+            if schedule is not None:
                 target = module.clone()
-                opt_stats = run_optimizer(target, opt_mode).snapshot()
+                schedule_stats = apply_schedule(schedule, target).snapshot()
+            elif opt_mode != "none":
+                target = module.clone()
+                opt_stats = run_optimizer(
+                    target, opt_mode, tile_size=tile_size
+                ).snapshot()
             compiled = compile_module(target, key, vectorize=vectorize)
             compiled.opt_stats = opt_stats
+            compiled.schedule_stats = schedule_stats
             return compiled
 
         self.compiled: CompiledModule = self.cache.get_or_compile(
@@ -108,6 +137,13 @@ class ExecutionEngine:
         when the engine compiled with ``opt_mode="none"`` (or the
         kernel was re-hydrated from a pre-optimizer disk artifact)."""
         return getattr(self.compiled, "opt_stats", None)
+
+    @property
+    def schedule_stats(self) -> Optional[dict]:
+        """What the applied transform-dialect schedule did, or ``None``
+        when the engine compiled without a schedule (or hit a cached
+        kernel artifact that predates schedules)."""
+        return getattr(self.compiled, "schedule_stats", None)
 
     def stats(self) -> dict:
         return self.cache.stats.snapshot()

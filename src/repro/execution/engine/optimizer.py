@@ -110,6 +110,10 @@ class OptStats:
     simplifications: int = 0
     loops_distributed: int = 0
     nests_tiled: int = 0
+    loops_unroll_jammed: int = 0
+    #: Why fusion rejected candidate pairs (reason -> count): the
+    #: taxonomy that makes a schedule's fuse decision explainable.
+    fusion_bails: Dict[str, int] = field(default_factory=dict)
     stages: List[Dict[str, int]] = field(default_factory=list)
 
     _COUNTERS = (
@@ -121,6 +125,7 @@ class OptStats:
         "simplifications",
         "loops_distributed",
         "nests_tiled",
+        "loops_unroll_jammed",
     )
 
     def _counter_values(self) -> Dict[str, int]:
@@ -134,6 +139,7 @@ class OptStats:
             "functions_skipped": self.functions_skipped,
         }
         snap.update(self._counter_values())
+        snap["fusion_bails"] = dict(self.fusion_bails)
         snap["stages"] = [dict(stage) for stage in self.stages]
         return snap
 
@@ -306,7 +312,9 @@ def run_optimizer(
 
     def _fuse() -> None:
         for func in funcs:
-            stats.loops_fused += greedy_fuse(func, require_flow=True)
+            stats.loops_fused += greedy_fuse(
+                func, require_flow=True, bails=stats.fusion_bails
+            )
 
     def _copy_elim() -> None:
         for func in funcs:

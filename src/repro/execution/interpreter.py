@@ -527,6 +527,36 @@ _HANDLERS = {
 }
 
 
+def _handle_transform_op(interp, op, env) -> None:
+    # Schedule IR scripts transformations over payload modules; it has
+    # no runtime semantics of its own.
+    raise InterpreterError(
+        f"{op.name} is schedule IR, not payload: apply it with "
+        "repro.scheduling.apply_schedule instead of executing it"
+    )
+
+
+_HANDLERS.update(
+    {
+        f"transform.{suffix}": _handle_transform_op
+        for suffix in (
+            "sequence",
+            "yield",
+            "match",
+            "fuse",
+            "copy_elim",
+            "dead_loops",
+            "canonicalize",
+            "distribute",
+            "tile",
+            "unroll_jam",
+            "vectorize",
+            "raise",
+        )
+    }
+)
+
+
 def run_function(module: ModuleOp, func_name: str, *args) -> List[Any]:
     """One-shot convenience wrapper."""
     return Interpreter(module).run(func_name, *args)

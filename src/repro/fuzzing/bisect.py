@@ -23,6 +23,7 @@ from .oracle import (
     check_engine_module,
     check_module,
     check_opt_module,
+    check_schedule_module,
     check_vectorize_module,
     make_args,
     module_arg_shapes,
@@ -41,7 +42,7 @@ class BisectionResult:
     index: Optional[int] = None
     #: Failure kind (crash | verify | roundtrip | execute | diff |
     #: engine | engine-diff | vectorize | vectorize-diff | opt |
-    #: opt-diff).
+    #: opt-diff | schedule | schedule-diff).
     kind: str = ""
     detail: str = ""
 
@@ -69,6 +70,7 @@ def bisect_pipeline(
     check_engine: bool = True,
     check_vectorize: bool = True,
     check_opt: bool = True,
+    check_schedule: bool = True,
 ) -> BisectionResult:
     """Replay ``pipeline`` pass-by-pass over a C source (str) or a
     pristine module (ModuleOp) and locate the first breaking pass."""
@@ -187,6 +189,26 @@ def bisect_pipeline(
                     index=position,
                     kind=opt_result.kind,
                     detail=opt_result.detail,
+                )
+        if check_schedule:
+            schedule_result = check_schedule_module(
+                module,
+                func_name,
+                base_args,
+                outputs,
+                stage_name,
+                pipeline_name=pipeline.name,
+                rtol=rtol,
+                seed=seed,
+                max_steps=max_steps,
+            )
+            if not schedule_result.ok:
+                return BisectionResult(
+                    culprit_pass=pass_name,
+                    stage=stage_name,
+                    index=position,
+                    kind=schedule_result.kind,
+                    detail=schedule_result.detail,
                 )
     return BisectionResult(culprit_pass=None)
 

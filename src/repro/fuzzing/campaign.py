@@ -153,6 +153,7 @@ class FuzzCampaign:
         check_vectorize: bool = True,
         check_synth: bool = True,
         check_opt: bool = True,
+        check_schedule: bool = True,
     ):
         self.out_dir = out_dir
         self.rtol = rtol
@@ -163,6 +164,7 @@ class FuzzCampaign:
         self.check_vectorize = check_vectorize
         self.check_synth = check_synth
         self.check_opt = check_opt
+        self.check_schedule = check_schedule
         self.write_artifacts = write_artifacts
         registry = build_pipelines(fuzz_tile_size)
         if extra_pipelines:
@@ -228,6 +230,7 @@ class FuzzCampaign:
                 check_engine=self.check_engine,
                 check_vectorize=self.check_vectorize,
                 check_opt=self.check_opt,
+                check_schedule=self.check_schedule,
                 bail_sink=bail_sink,
             )
             stats.checks += 1
@@ -268,6 +271,7 @@ class FuzzCampaign:
                     check_engine=self.check_engine,
                     check_vectorize=self.check_vectorize,
                     check_opt=self.check_opt,
+                    check_schedule=self.check_schedule,
                     bail_sink=bail_sink,
                 )
                 stats.checks += 1
@@ -504,6 +508,7 @@ class FuzzCampaign:
             check_engine=self.check_engine,
             check_vectorize=self.check_vectorize,
             check_opt=self.check_opt,
+            check_schedule=self.check_schedule,
         )
 
         def still_fails(candidate: str) -> bool:
@@ -517,6 +522,7 @@ class FuzzCampaign:
                 check_engine=self.check_engine,
                 check_vectorize=self.check_vectorize,
                 check_opt=self.check_opt,
+                check_schedule=self.check_schedule,
             )
             failure = candidate_report.first_failure
             original = report.first_failure
@@ -552,6 +558,7 @@ class FuzzCampaign:
             check_engine=self.check_engine,
             check_vectorize=self.check_vectorize,
             check_opt=self.check_opt,
+            check_schedule=self.check_schedule,
         )
         failure = FuzzFailure(
             seed=seed,

@@ -509,6 +509,67 @@ def check_opt_module(
     return StageResult(result_name, True, "ok", "", ir_text)
 
 
+def check_schedule_module(
+    module: ModuleOp,
+    func_name: str,
+    base_args: Sequence[np.ndarray],
+    interpreter_outputs: Sequence[np.ndarray],
+    stage_name: str,
+    pipeline_name: str = "",
+    rtol: float = 2e-3,
+    ir_text: str = "",
+    seed: int = 0,
+    max_steps: int = 20_000_000,
+    trials: int = 2,
+) -> StageResult:
+    """Cross-check random transform-dialect schedules against the
+    unscheduled payload.
+
+    Draws ``trials`` random legal schedules (deterministic in
+    ``seed``/``stage_name``), applies each to a clone of the snapshot
+    through the scheduling interpreter, executes the scheduled clone on
+    the IR interpreter, and requires the outputs to match the
+    unscheduled interpreter run within ``rtol``.  Every schedule step
+    re-checks its own legality, so *any* divergence is a transform bug
+    — this is the oracle that keeps the autotuner's whole search space
+    honest, not just the canned pipelines.
+    """
+    import random
+
+    from ..execution import Interpreter
+    from ..scheduling.interpreter import apply_schedule, random_schedule
+
+    result_name = f"schedule-diff:{stage_name}"
+    for trial in range(trials):
+        rng = random.Random(f"{seed}:{pipeline_name}:{stage_name}:{trial}")
+        schedule = random_schedule(rng)
+        schedule_text = print_module(schedule)
+        try:
+            clone = module.clone()
+            apply_schedule(schedule, clone)
+            args = [a.copy() for a in base_args]
+            Interpreter(clone, max_steps=max_steps).run(func_name, *args)
+        except Exception as exc:
+            return StageResult(
+                result_name,
+                False,
+                "schedule",
+                f"trial={trial}: {exc} | schedule: {schedule_text}",
+                ir_text,
+            )
+        detail = _diff_detail(interpreter_outputs, args, rtol)
+        if detail:
+            return StageResult(
+                result_name,
+                False,
+                "schedule-diff",
+                f"trial={trial} vs unscheduled: {detail} | "
+                f"schedule: {schedule_text}",
+                ir_text,
+            )
+    return StageResult(result_name, True, "ok", "", ir_text)
+
+
 def check_driver_equivalence(
     module: ModuleOp, pipeline: Pipeline
 ) -> StageResult:
@@ -573,6 +634,7 @@ def run_oracle(
     check_engine: bool = True,
     check_vectorize: bool = True,
     check_opt: bool = True,
+    check_schedule: bool = True,
     bail_sink: Optional[Dict[str, Dict[str, int]]] = None,
 ) -> OracleReport:
     """Differentially test one C kernel against one pipeline."""
@@ -589,7 +651,8 @@ def run_oracle(
     return _drive_stages(
         report, module, pipeline, func_name, seed, rtol, max_steps,
         check_engine=check_engine, check_vectorize=check_vectorize,
-        check_opt=check_opt, bail_sink=bail_sink,
+        check_opt=check_opt, check_schedule=check_schedule,
+        bail_sink=bail_sink,
     )
 
 
@@ -603,6 +666,7 @@ def run_oracle_on_module(
     check_engine: bool = True,
     check_vectorize: bool = True,
     check_opt: bool = True,
+    check_schedule: bool = True,
     bail_sink: Optional[Dict[str, Dict[str, int]]] = None,
 ) -> OracleReport:
     """Differentially test a builder-constructed module (skips MET)."""
@@ -610,7 +674,8 @@ def run_oracle_on_module(
     return _drive_stages(
         report, module.clone(), pipeline, func_name, seed, rtol, max_steps,
         check_engine=check_engine, check_vectorize=check_vectorize,
-        check_opt=check_opt, bail_sink=bail_sink,
+        check_opt=check_opt, check_schedule=check_schedule,
+        bail_sink=bail_sink,
     )
 
 
@@ -625,6 +690,7 @@ def _drive_stages(
     check_engine: bool = True,
     check_vectorize: bool = True,
     check_opt: bool = True,
+    check_schedule: bool = True,
     bail_sink: Optional[Dict[str, Dict[str, int]]] = None,
 ) -> OracleReport:
     shapes = module_arg_shapes(module, func_name)
@@ -693,6 +759,22 @@ def _drive_stages(
             )
             report.stages.append(opt_result)
             if not opt_result.ok:
+                return report
+        if check_schedule:
+            schedule_result = check_schedule_module(
+                module,
+                func_name,
+                base_args,
+                outputs,
+                stage.name,
+                pipeline_name=pipeline.name,
+                rtol=rtol,
+                ir_text=result.ir_text,
+                seed=seed,
+                max_steps=max_steps,
+            )
+            report.stages.append(schedule_result)
+            if not schedule_result.ok:
                 return report
         if reference is None:
             reference = outputs

@@ -279,13 +279,19 @@ class Parser:
         if self.accept("module"):
             self.expect("{")
             while not self.accept("}"):
-                module.body.append(self.parse_func())
+                module.body.append(self._parse_module_item(module))
         else:
             while self.peek().kind != "EOF":
-                module.body.append(self.parse_func())
+                module.body.append(self._parse_module_item(module))
         if self.peek().kind != "EOF":
             raise self.error("trailing input after module")
         return module
+
+    def _parse_module_item(self, module: ModuleOp):
+        """A top-level item: a function or a transform schedule."""
+        if self.peek().text == "transform.sequence":
+            return self.parse_operation(module.regions[0])
+        return self.parse_func()
 
     def parse_func(self) -> FuncOp:
         self.expect("func")
@@ -794,6 +800,56 @@ def _parse_call(p: Parser, region) -> Operation:
     return LLVMCallOp.create(callee, operands, result_types)
 
 
+def _parse_transform_sequence(p: Parser, region) -> Operation:
+    from ..dialects.transform import SequenceOp
+
+    p.expect("transform.sequence")
+    p.expect("{")
+    op = SequenceOp.create()
+    # Steps go before the implicit transform.yield terminator.
+    while not p.accept("}"):
+        op.append_step(p.parse_operation(op.regions[0]))
+    return op
+
+
+def _parse_transform_match(p: Parser, region) -> Operation:
+    from ..dialects.transform import MatchOp
+
+    p.expect("transform.match")
+    target = None
+    if p.peek().kind == "SYMBOL":
+        target = p.next().text[1:]
+    return MatchOp.create(target)
+
+
+def _parse_transform_step(p: Parser, region) -> Operation:
+    from .core import create_operation
+    from ..dialects.transform import TransformHandleType
+
+    name = p.next().text
+    handle = p.parse_ssa_use()
+    attrs = p.parse_attr_dict()
+    return create_operation(
+        name,
+        operands=[handle],
+        result_types=[TransformHandleType()],
+        attributes=attrs,
+    )
+
+
+_TRANSFORM_STEP_OPS = [
+    "transform.fuse",
+    "transform.copy_elim",
+    "transform.dead_loops",
+    "transform.canonicalize",
+    "transform.distribute",
+    "transform.tile",
+    "transform.unroll_jam",
+    "transform.vectorize",
+    "transform.raise",
+]
+
+
 _TRIPLE_OPS = [
     "affine.matmul",
     "linalg.matmul",
@@ -841,7 +897,11 @@ _CUSTOM_PARSERS = {
     "llvm.cond_br": _parse_cond_branch,
     "func.call": _parse_call,
     "llvm.call": _parse_call,
+    "transform.sequence": _parse_transform_sequence,
+    "transform.match": _parse_transform_match,
 }
+for _name in _TRANSFORM_STEP_OPS:
+    _CUSTOM_PARSERS[_name] = _parse_transform_step
 for _name in _TRIPLE_OPS:
     _CUSTOM_PARSERS[_name] = _parse_triple_form
 for _name in _BINARY_OPS:

@@ -357,6 +357,30 @@ def _print_call_like(printer: Printer, op, callee: str) -> None:
     )
 
 
+def _print_transform_sequence(printer: Printer, op) -> None:
+    printer.emit("transform.sequence {")
+    printer.indent += 1
+    for step in op.body.operations:
+        if step.name == "transform.yield":
+            continue  # implicit terminator, re-added by the parser
+        printer.print_operation(step)
+    printer.indent -= 1
+    printer.emit("}")
+
+
+def _print_transform_match(printer: Printer, op) -> None:
+    target = op.attributes.get("target")
+    suffix = f" @{target.value}" if target is not None else ""
+    printer.emit(f"{printer._results_prefix(op)}transform.match{suffix}")
+
+
+def _print_transform_step(printer: Printer, op) -> None:
+    printer.emit(
+        f"{printer._results_prefix(op)}{op.name} "
+        f"{printer.namer(op.operand(0))}{_attr_dict_text(op)}"
+    )
+
+
 _CUSTOM_PRINTERS = {
     "builtin.module": _print_module,
     "func.func": _print_func,
@@ -400,6 +424,17 @@ _CUSTOM_PRINTERS = {
     "blas.conv2d": _print_triple,
     "llvm.br": _print_branch,
     "llvm.cond_br": _print_cond_branch,
+    "transform.sequence": _print_transform_sequence,
+    "transform.match": _print_transform_match,
+    "transform.fuse": _print_transform_step,
+    "transform.copy_elim": _print_transform_step,
+    "transform.dead_loops": _print_transform_step,
+    "transform.canonicalize": _print_transform_step,
+    "transform.distribute": _print_transform_step,
+    "transform.tile": _print_transform_step,
+    "transform.unroll_jam": _print_transform_step,
+    "transform.vectorize": _print_transform_step,
+    "transform.raise": _print_transform_step,
 }
 
 

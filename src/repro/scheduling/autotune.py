@@ -1,0 +1,341 @@
+"""Parallel schedule autotuning with a persisted best-schedule cache.
+
+The tuner turns the transform dialect into a search space: every
+candidate is a parameter point (:func:`enumerate_space`) reified as a
+schedule module (:func:`~.interpreter.schedule_from_params`), applied
+by the engine on a clone of the payload, and timed on deterministic
+real inputs.  Candidates shard across the persistent worker pool
+(:func:`repro.runtime.pool.parallel_map`), so the search parallelizes
+exactly like the fuzz campaigns and the corpus driver.
+
+The winning schedule persists in the disk cache's ``schedules/``
+namespace (beside ``modules/`` and ``kernels/``), keyed by the payload
+module's content fingerprint — so a warm compile of the same kernel
+(including through ``mlt-serve``) replays the tuned schedule with
+**zero** search evaluations.  The enumeration places the parameter
+point equivalent to ``opt_mode="full"`` first, so any in-budget search
+returns a schedule at least as fast as the default pipeline on the
+measured inputs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..execution.engine.cache import KernelCache, fingerprint_module
+from ..execution.engine.disk_cache import DiskKernelCache
+from ..execution.engine.optimizer import DEFAULT_TILE_SIZE
+
+#: Folded into every schedule-cache key: bump when the schedule space
+#: or the record layout changes so stale tunings never replay.
+SCHEDULE_CACHE_VERSION = "schedules-v1"
+
+#: Tile edges the tuner tries (0 = untiled).
+TILE_SIZES = (0, 8, 16, 32, 64)
+
+#: Unroll-and-jam factors for small reduction trips (0 = off).
+UNROLL_JAM_FACTORS = (0, 2, 4)
+
+
+def default_params() -> Dict:
+    """The parameter point equivalent to ``opt_mode="full"``."""
+    return {
+        "fuse": True,
+        "order": "fuse-first",
+        "tile": DEFAULT_TILE_SIZE,
+        "unroll_jam": 0,
+        "vectorize": "nest",
+    }
+
+
+def enumerate_space() -> List[Dict]:
+    """The full candidate list, deterministic, default point first.
+
+    Axes: fuse on/off, fuse-vs-distribute order, tile edge, unroll-jam
+    factor.  ``fuse=False`` collapses the order axis (there is nothing
+    to reorder against).
+    """
+    default = default_params()
+    points: List[Dict] = [default]
+    for fuse, order in (
+        (True, "fuse-first"),
+        (True, "distribute-first"),
+        (False, "fuse-first"),
+    ):
+        for tile in TILE_SIZES:
+            for factor in UNROLL_JAM_FACTORS:
+                point = {
+                    "fuse": fuse,
+                    "order": order,
+                    "tile": tile,
+                    "unroll_jam": factor,
+                    "vectorize": "nest",
+                }
+                if point != default:
+                    points.append(point)
+    return points
+
+
+# ----------------------------------------------------------------------
+# Persisted best-schedule cache
+# ----------------------------------------------------------------------
+
+
+class ScheduleCache:
+    """Best-schedule records in the ``schedules/`` disk namespace.
+
+    A record is JSON text keyed by the payload module's fingerprint:
+    the winning schedule's IR text plus the measurements that chose it.
+    """
+
+    def __init__(self, root: str):
+        self.disk = DiskKernelCache(os.path.join(root, "schedules"))
+
+    @staticmethod
+    def key_for(fingerprint: str) -> str:
+        return KernelCache.key_for_text(fingerprint, SCHEDULE_CACHE_VERSION)
+
+    def load(self, fingerprint: str) -> Optional[Dict]:
+        text = self.disk.load_text(self.key_for(fingerprint))
+        if text is None:
+            return None
+        try:
+            record = json.loads(text)
+        except ValueError:
+            return None
+        return record if isinstance(record, dict) else None
+
+    def store(self, fingerprint: str, record: Dict) -> None:
+        self.disk.store_text(
+            self.key_for(fingerprint), json.dumps(record, sort_keys=True)
+        )
+
+
+# ----------------------------------------------------------------------
+# Candidate evaluation (worker side)
+# ----------------------------------------------------------------------
+
+_WORKER_STATE: Optional[dict] = None
+
+
+def _init_worker(config: dict) -> None:
+    global _WORKER_STATE
+    from ..ir.parser import parse_module
+
+    state = dict(config)
+    state["module"] = parse_module(config["module_text"])
+    _WORKER_STATE = state
+
+
+def _measure_schedule(module, func_name, schedule, repeats, seed):
+    """Compile ``module`` under ``schedule`` and time steady-state
+    execution (best of ``repeats``); returns (wall, checksum, result)."""
+    from ..execution.engine.engine import ExecutionEngine
+    from ..fuzzing.oracle import make_args, module_arg_shapes
+
+    engine = ExecutionEngine(
+        module, cache=KernelCache(), schedule=schedule
+    )
+    # One untimed run first: it absorbs the lazy compile plus any
+    # first-touch process costs (allocator, numpy dispatch) that would
+    # otherwise bias the comparison toward whichever schedule is
+    # measured *second* in a given process.
+    warmup = make_args(module_arg_shapes(module, func_name), seed)
+    engine.run(func_name, *warmup)
+    wall = float("inf")
+    digest = 0.0
+    for _ in range(max(1, repeats)):
+        args = make_args(module_arg_shapes(module, func_name), seed)
+        start = time.perf_counter()
+        engine.run(func_name, *args)
+        wall = min(wall, time.perf_counter() - start)
+        digest = float(sum(float(buf.sum()) for buf in args))
+    return wall, digest, engine
+
+
+def _evaluate_candidate(unit) -> Dict:
+    """One tuning evaluation: build the schedule for a parameter point,
+    compile + run the payload under it, report the wall-clock."""
+    index, params = unit
+    state = _WORKER_STATE
+    from .interpreter import schedule_from_params
+
+    schedule = schedule_from_params(params)
+    start = time.perf_counter()
+    wall, digest, engine = _measure_schedule(
+        state["module"],
+        state["func_name"],
+        schedule,
+        state["repeats"],
+        state["seed"],
+    )
+    return {
+        "index": index,
+        "params": params,
+        "wall_time_s": wall,
+        "checksum": digest,
+        "compile_s": time.perf_counter() - start - wall,
+        "schedule_stats": engine.schedule_stats,
+    }
+
+
+# ----------------------------------------------------------------------
+# Per-kernel tuning driver
+# ----------------------------------------------------------------------
+
+
+def autotune_kernel(
+    kernel: str,
+    budget: int = 24,
+    jobs: int = 1,
+    repeats: int = 3,
+    seed: int = 0,
+    cache_dir: Optional[str] = None,
+    pipeline: str = "mlt-linalg",
+    heavy: bool = False,
+) -> Dict:
+    """Tune one paper-corpus kernel; returns a ``BENCH_autotune`` row.
+
+    With a ``cache_dir`` whose ``schedules/`` namespace already holds a
+    record for this payload, the search is skipped entirely
+    (``evaluations == 0``, ``cached == True``) and the persisted
+    schedule replays at default-compile latency.
+    """
+    from ..evaluation import get_kernel
+    from ..evaluation.pipelines import build_module
+    from ..ir.parser import parse_module
+    from ..ir.printer import print_module
+    from ..runtime.pool import parallel_map
+    from .interpreter import schedule_from_params
+
+    spec = get_kernel(kernel)
+    source = spec.large() if heavy else spec.small()
+    module = build_module(source, pipeline)
+    fingerprint = fingerprint_module(module)
+    cache = ScheduleCache(cache_dir) if cache_dir else None
+
+    record = cache.load(fingerprint) if cache is not None else None
+    if record is not None:
+        # Warm replay: no search, just compile + run under the
+        # persisted winner to prove it still applies.  The reported
+        # speedup is the *search-time* measurement pair — the only two
+        # timings taken under identical conditions; re-measuring the
+        # default here would compare runs from different process
+        # states, which on a loaded box swamps the signal.
+        tuned_schedule = parse_module(record["schedule"])
+        replay_wall, tuned_digest, _ = _measure_schedule(
+            module, spec.func_name, tuned_schedule, repeats, seed
+        )
+        tuned_wall = float(record.get("wall_time_s", replay_wall))
+        default_wall = float(record.get("default_wall_s", tuned_wall))
+        return {
+            "kernel": kernel,
+            "cached": True,
+            "evaluations": 0,
+            "best_params": record["params"],
+            "schedule": record["schedule"],
+            "default_wall_s": default_wall,
+            "tuned_wall_s": tuned_wall,
+            "replay_wall_s": replay_wall,
+            "speedup": default_wall / tuned_wall if tuned_wall > 0 else 1.0,
+            "checksum": tuned_digest,
+        }
+
+    points = enumerate_space()[: max(1, budget)]
+    config = {
+        "module_text": print_module(module),
+        "func_name": spec.func_name,
+        "repeats": repeats,
+        "seed": seed,
+    }
+    results = parallel_map(
+        _evaluate_candidate,
+        list(enumerate(points)),
+        jobs=jobs,
+        initializer=_init_worker,
+        initargs=(config,),
+    )
+    by_index = {row["index"]: row for row in results}
+    default_row = by_index[0]
+    # Correctness screen: a candidate whose output digest disagrees
+    # with the default pipeline's is discarded, never declared a win.
+    tolerance = 1e-4 * max(1.0, abs(default_row["checksum"]))
+    valid = [
+        row
+        for row in results
+        if abs(row["checksum"] - default_row["checksum"]) <= tolerance
+    ]
+    best_row = min(valid, key=lambda row: (row["wall_time_s"], row["index"]))
+    best_schedule_text = print_module(
+        schedule_from_params(best_row["params"])
+    )
+    if cache is not None:
+        cache.store(
+            fingerprint,
+            {
+                "version": SCHEDULE_CACHE_VERSION,
+                "kernel": kernel,
+                "fingerprint": fingerprint,
+                "params": best_row["params"],
+                "schedule": best_schedule_text,
+                "wall_time_s": best_row["wall_time_s"],
+                "default_wall_s": default_row["wall_time_s"],
+                "evaluations": len(results),
+            },
+        )
+    tuned_wall = best_row["wall_time_s"]
+    default_wall = default_row["wall_time_s"]
+    return {
+        "kernel": kernel,
+        "cached": False,
+        "evaluations": len(results),
+        "best_params": best_row["params"],
+        "schedule": best_schedule_text,
+        "default_wall_s": default_wall,
+        "tuned_wall_s": tuned_wall,
+        "speedup": default_wall / tuned_wall if tuned_wall > 0 else 1.0,
+        "checksum": best_row["checksum"],
+        "rejected_candidates": len(results) - len(valid),
+    }
+
+
+#: Kernels ``mlt-tune`` tunes when none are named.
+DEFAULT_TUNE_KERNELS = ("gemm", "2mm", "doitgen", "atax")
+
+
+def autotune(
+    kernels: Sequence[str] = DEFAULT_TUNE_KERNELS,
+    budget: int = 24,
+    jobs: int = 1,
+    repeats: int = 3,
+    seed: int = 0,
+    cache_dir: Optional[str] = None,
+    heavy: bool = False,
+) -> Dict:
+    """Tune a kernel list; returns the ``BENCH_autotune`` payload."""
+    rows = [
+        autotune_kernel(
+            kernel,
+            budget=budget,
+            jobs=jobs,
+            repeats=repeats,
+            seed=seed,
+            cache_dir=cache_dir,
+            heavy=heavy,
+        )
+        for kernel in kernels
+    ]
+    return {
+        "rows": rows,
+        "summary": {
+            "budget": budget,
+            "jobs": jobs,
+            "repeats": repeats,
+            "evaluations": sum(row["evaluations"] for row in rows),
+            "cached": sum(1 for row in rows if row["cached"]),
+            "best_speedup": max(row["speedup"] for row in rows),
+        },
+    }

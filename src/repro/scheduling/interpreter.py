@@ -1,0 +1,352 @@
+"""Interpreter applying a transform-dialect schedule to payload IR.
+
+:func:`apply_schedule` walks a ``transform.sequence`` and executes each
+step through the existing transform/pass infrastructure — the same
+``greedy_fuse`` / ``copy_eliminate`` / tiling helpers the hardcoded
+``opt_mode`` pipelines call.  Applying :func:`canned_schedule`\\ (mode)
+therefore produces byte-identical IR to ``run_optimizer(module, mode)``:
+the canned schedules *are* the old pipelines, reified as data.
+
+Every step re-checks its own legality on the payload it actually sees
+(fusion legality, tiling legality, unroll-jam divisibility), so any
+schedule drawn from the transform dialect — including the fuzzer's
+:func:`random_schedule` — is semantics-preserving by construction; an
+inapplicable step is a no-op, never an error.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..dialects.affine import AffineForOp, outermost_loops, perfect_nest
+from ..dialects.transform import (
+    CanonicalizeOp,
+    CopyElimOp,
+    DeadLoopsOp,
+    DistributeOp,
+    FuseOp,
+    MatchOp,
+    RaiseOp,
+    SequenceOp,
+    TileOp,
+    TransformStepOp,
+    UnrollJamOp,
+    VectorizeOp,
+    YieldOp,
+    find_sequences,
+)
+from ..execution.engine.optimizer import (
+    DEFAULT_TILE_SIZE,
+    OptStats,
+    _eliminate_redundant_loops,
+    _function_is_optimizable,
+    _tile_scalar_nests,
+    _tiling_is_legal,
+)
+from ..ir import ModuleOp, Operation
+from ..transforms.canonicalize import canonicalize
+from ..transforms.copy_elimination import copy_eliminate
+from ..transforms.distribution import distribute_loops
+from ..transforms.fusion import greedy_fuse
+from ..transforms.tiling import TilingError, tile_perfect_nest
+from ..transforms.unroll import unroll_jam_loops
+
+
+class ScheduleError(ValueError):
+    """A schedule module is malformed (not a legality failure)."""
+
+
+@dataclass
+class ScheduleResult:
+    """What applying a schedule did (and requested).
+
+    ``stats`` uses the optimizer's counter vocabulary so per-step
+    deltas land in ``stats.stages`` exactly like ``run_optimizer``'s
+    per-stage snapshots.  ``vectorize`` is the codegen mode a
+    ``transform.vectorize`` step requested (``None`` when the schedule
+    leaves the engine default in charge); ``raise_stats`` is the
+    raising snapshot when a ``transform.raise`` step ran.
+    """
+
+    stats: OptStats = field(default_factory=OptStats)
+    vectorize: Optional[str] = None
+    raise_stats: Optional[dict] = None
+
+    def snapshot(self) -> dict:
+        snap = self.stats.snapshot()
+        snap["vectorize"] = self.vectorize
+        if self.raise_stats is not None:
+            snap["raise"] = dict(self.raise_stats)
+        return snap
+
+
+def _schedule_sequence(schedule) -> SequenceOp:
+    if isinstance(schedule, SequenceOp):
+        return schedule
+    sequences = find_sequences(schedule)
+    if len(sequences) != 1:
+        raise ScheduleError(
+            f"schedule module must hold exactly one transform.sequence, "
+            f"found {len(sequences)}"
+        )
+    return sequences[0]
+
+
+def schedule_vectorize(schedule) -> Optional[str]:
+    """The codegen vectorize mode ``schedule`` requests, if any.
+
+    Lets engine construction honor a ``transform.vectorize`` step
+    *before* compiling (the mode is part of the kernel cache key).
+    Last step wins, matching the interpreter's apply order.
+    """
+    mode = None
+    for step in _schedule_sequence(schedule).steps():
+        if isinstance(step, VectorizeOp):
+            mode = step.mode
+    return mode
+
+
+def _tile_explicit(func: Operation, sizes: List[int], stats: OptStats) -> None:
+    """Tile every depth-matching legal band with explicit sizes.
+
+    Unlike the heuristic path this skips the vectorizer first-refusal
+    and the trip-count heuristic — explicit sizes mean the schedule
+    author (or the autotuner) overrides the defaults — but the
+    dependence-legality gate stays."""
+    for root in list(outermost_loops(func)):
+        if root.parent_block is None:
+            continue
+        band = perfect_nest(root)
+        if len(band) != len(sizes):
+            continue
+        if any(
+            not loop.has_constant_bounds() or loop.step != 1 for loop in band
+        ):
+            continue
+        if not _tiling_is_legal(root, band):
+            continue
+        try:
+            new_loops = tile_perfect_nest(root, list(sizes))
+        except TilingError:
+            continue
+        for loop in new_loops:
+            loop._opt_no_vectorize = True
+        stats.nests_tiled += 1
+
+
+def apply_schedule(schedule, payload: ModuleOp) -> ScheduleResult:
+    """Apply ``schedule`` (a schedule module or sequence) to ``payload``
+    in place and return the populated :class:`ScheduleResult`.
+    """
+    sequence = _schedule_sequence(schedule)
+    result = ScheduleResult(stats=OptStats(mode="schedule"))
+    stats = result.stats
+
+    funcs: List[Operation] = []
+    matched = False
+
+    for step in sequence.steps():
+        if isinstance(step, MatchOp):
+            matched = True
+            funcs = []
+            for func in payload.functions:
+                stats.functions_seen += 1
+                if step.target is not None and func.sym_name != step.target:
+                    continue
+                if _function_is_optimizable(func):
+                    funcs.append(func)
+                else:
+                    stats.functions_skipped += 1
+            continue
+        if not isinstance(step, TransformStepOp):
+            raise ScheduleError(f"unknown schedule step {step.name}")
+        if not matched:
+            raise ScheduleError(
+                f"{step.name} before any transform.match — nothing to "
+                f"transform"
+            )
+        before = stats._counter_values()
+        if isinstance(step, FuseOp):
+            for func in funcs:
+                stats.loops_fused += greedy_fuse(
+                    func, require_flow=step.flow, bails=stats.fusion_bails
+                )
+        elif isinstance(step, CopyElimOp):
+            for func in funcs:
+                elim = copy_eliminate(func)
+                stats.stores_forwarded += elim.stores_forwarded
+                stats.dead_stores_removed += elim.dead_stores_removed
+                stats.dead_allocs_removed += elim.dead_allocs_removed
+        elif isinstance(step, DeadLoopsOp):
+            for func in funcs:
+                _eliminate_redundant_loops(func, stats)
+        elif isinstance(step, CanonicalizeOp):
+            for func in funcs:
+                stats.simplifications += canonicalize(func)
+        elif isinstance(step, DistributeOp):
+            for func in funcs:
+                stats.loops_distributed += distribute_loops(func)
+        elif isinstance(step, TileOp):
+            for func in funcs:
+                if step.size is not None:
+                    _tile_scalar_nests(func, step.size, stats)
+                else:
+                    _tile_explicit(func, step.sizes, stats)
+        elif isinstance(step, UnrollJamOp):
+            for func in funcs:
+                stats.loops_unroll_jammed += unroll_jam_loops(
+                    func, step.factor
+                )
+        elif isinstance(step, VectorizeOp):
+            result.vectorize = step.mode
+        elif isinstance(step, RaiseOp):
+            from ..tactics.raising import raise_affine_to_linalg
+
+            raising = raise_affine_to_linalg(
+                payload, raise_mode=step.mode
+            )
+            result.raise_stats = dict(raising.callsites)
+        else:
+            raise ScheduleError(f"unknown schedule step {step.name}")
+        delta = {
+            key: value - before[key]
+            for key, value in stats._counter_values().items()
+            if value != before[key]
+        }
+        stats.stages.append({"stage": step.name, **delta})
+
+    if isinstance(payload, ModuleOp):
+        payload.bump_version()
+    return result
+
+
+# ----------------------------------------------------------------------
+# Schedule builders
+# ----------------------------------------------------------------------
+
+
+def _new_schedule_module() -> ModuleOp:
+    module = ModuleOp.create()
+    module.body.append(SequenceOp.create())
+    return module
+
+
+def canned_schedule(
+    mode: str, tile_size: int = DEFAULT_TILE_SIZE
+) -> ModuleOp:
+    """The ``opt_mode`` pipelines as schedule modules.
+
+    Applying ``canned_schedule(mode)`` to a payload produces IR
+    byte-identical to ``run_optimizer(payload, mode)`` (asserted by
+    ``tests/scheduling``): same transforms, same order, same legality
+    gates.
+    """
+    module = _new_schedule_module()
+    sequence = find_sequences(module)[0]
+    handle = sequence.append_step(MatchOp.create()).results[0]
+    if mode == "none":
+        return module
+    if mode not in ("fuse", "full"):
+        raise ScheduleError(f"no canned schedule for mode {mode!r}")
+    handle = sequence.append_step(
+        FuseOp.create(handle, flow=True)
+    ).results[0]
+    if mode == "fuse":
+        return module
+    handle = sequence.append_step(CopyElimOp.create(handle)).results[0]
+    handle = sequence.append_step(DeadLoopsOp.create(handle)).results[0]
+    handle = sequence.append_step(CanonicalizeOp.create(handle)).results[0]
+    handle = sequence.append_step(DistributeOp.create(handle)).results[0]
+    handle = sequence.append_step(
+        TileOp.create(handle, size=tile_size)
+    ).results[0]
+    return module
+
+
+def schedule_from_params(params: Dict) -> ModuleOp:
+    """Build a schedule module from an autotuner parameter point.
+
+    Recognized keys (all optional): ``fuse`` (bool), ``order``
+    (``"fuse-first"`` | ``"distribute-first"``), ``tile`` (int, 0 =
+    untiled), ``unroll_jam`` (int, 0 = off), ``vectorize`` (codegen
+    mode), ``target`` (function name).
+    """
+    module = _new_schedule_module()
+    sequence = find_sequences(module)[0]
+    handle = sequence.append_step(
+        MatchOp.create(params.get("target"))
+    ).results[0]
+
+    def add(op) -> None:
+        nonlocal handle
+        handle = sequence.append_step(op).results[0]
+
+    fuse = bool(params.get("fuse", True))
+    order = params.get("order", "fuse-first")
+    if order not in ("fuse-first", "distribute-first"):
+        raise ScheduleError(f"unknown schedule order {order!r}")
+    if fuse and order == "fuse-first":
+        add(FuseOp.create(handle, flow=True))
+    add(CopyElimOp.create(handle))
+    add(DeadLoopsOp.create(handle))
+    add(CanonicalizeOp.create(handle))
+    add(DistributeOp.create(handle))
+    if fuse and order == "distribute-first":
+        add(FuseOp.create(handle, flow=True))
+    tile = int(params.get("tile", 0))
+    if tile:
+        add(TileOp.create(handle, size=tile))
+    factor = int(params.get("unroll_jam", 0))
+    if factor:
+        add(UnrollJamOp.create(handle, factor))
+    vectorize = params.get("vectorize")
+    if vectorize is not None:
+        add(VectorizeOp.create(handle, vectorize))
+    return module
+
+
+#: Step menu for :func:`random_schedule`.  ``vectorize`` and ``raise``
+#: are deliberately absent: the fuzz oracle compares *interpreted*
+#: payload outputs, where a vectorize annotation is inert and raising
+#: is exercised by its own oracle stage.
+_RANDOM_TILE_SIZES = (2, 4, 8, 16, 32, 64)
+_RANDOM_FACTORS = (2, 3, 4)
+
+
+def random_schedule(rng: random.Random) -> ModuleOp:
+    """A random *legal* schedule: any step sequence drawn here is
+    semantics-preserving because every step re-checks its own legality
+    when applied."""
+    module = _new_schedule_module()
+    sequence = find_sequences(module)[0]
+    handle = sequence.append_step(MatchOp.create()).results[0]
+
+    def add(op) -> None:
+        nonlocal handle
+        handle = sequence.append_step(op).results[0]
+
+    menu = (
+        lambda: FuseOp.create(handle, flow=rng.random() < 0.5),
+        lambda: CopyElimOp.create(handle),
+        lambda: DeadLoopsOp.create(handle),
+        lambda: CanonicalizeOp.create(handle),
+        lambda: DistributeOp.create(handle),
+        lambda: TileOp.create(
+            handle, size=rng.choice(_RANDOM_TILE_SIZES)
+        ),
+        lambda: TileOp.create(
+            handle,
+            sizes=[
+                rng.choice(_RANDOM_TILE_SIZES)
+                for _ in range(rng.randint(1, 3))
+            ],
+        ),
+        lambda: UnrollJamOp.create(
+            handle, rng.choice(_RANDOM_FACTORS)
+        ),
+    )
+    for _ in range(rng.randint(0, 6)):
+        add(rng.choice(menu)())
+    return module

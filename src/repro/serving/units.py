@@ -53,7 +53,7 @@ class BadRequest(ValueError):
 
 
 class TenantCaches:
-    """One tenant's cache namespace: kernel + module tiers."""
+    """One tenant's cache namespace: kernel + module + schedule tiers."""
 
     def __init__(self, root: Optional[str], tenant: str):
         from ..execution.engine.cache import KernelCache
@@ -61,14 +61,19 @@ class TenantCaches:
         self.tenant = tenant
         self.kernel_cache = KernelCache()
         self.module_cache = None
+        self.schedule_cache = None
         if root:
             base = tenant_dir(root, tenant)
             self.kernel_cache.attach_disk(os.path.join(base, "kernels"))
             from ..execution.engine.disk_cache import DiskKernelCache
+            from ..scheduling.autotune import ScheduleCache
 
             self.module_cache = DiskKernelCache(
                 os.path.join(base, "modules")
             )
+            # Best-schedule records for opt_mode="tuned": populate with
+            # ``mlt-tune --cache-dir <root>/tenants/<tenant>``.
+            self.schedule_cache = ScheduleCache(base)
 
 
 def tenant_dir(root: str, tenant: str) -> str:
@@ -187,9 +192,12 @@ def normalize_request(
     opt_mode = request.get("opt_mode", "full")
     from ..execution.engine.optimizer import OPT_MODES
 
-    if opt_mode not in OPT_MODES:
+    # "tuned" replays the persisted best schedule for the payload (if
+    # the tenant's schedules/ namespace holds one) and falls back to
+    # the canned full pipeline otherwise.
+    if opt_mode not in OPT_MODES and opt_mode != "tuned":
         raise BadRequest(
-            f"opt_mode must be one of {'|'.join(OPT_MODES)}"
+            f"opt_mode must be one of {'|'.join(OPT_MODES)}|tuned"
         )
 
     spec = {
@@ -371,31 +379,66 @@ def serve_unit(spec: dict) -> dict:
 
     caches = _tenant_caches(tenant)
     module_cache = caches.module_cache
-    text = (
-        module_cache.load_text(mkey) if module_cache is not None else None
-    )
+    opt_mode = spec.get("opt_mode", "full")
+    schedule_tag = ""
     module = None
-    if text is None:
+    if opt_mode == "tuned":
+        # Tuned units key the transformation off the *pristine* payload
+        # fingerprint, so they always rebuild the frontend module; the
+        # expensive tier (codegen) still hits the per-tenant kernel
+        # cache — keyed by the scheduled text — and warm traffic rides
+        # the hot map, so only the first request per process pays.
+        from ..execution.engine.cache import fingerprint_module
         from ..ir import print_module
 
         module = _build_module(spec)
-        # Optimize before printing so persisted module text — and
-        # every kernel (cold or warm) derived from it — reflects the
-        # mid-level optimizer's output.
-        opt_mode = spec.get("opt_mode", "full")
-        if opt_mode != "none":
+        record = (
+            caches.schedule_cache.load(fingerprint_module(module))
+            if caches.schedule_cache is not None
+            else None
+        )
+        if record is not None and isinstance(record.get("schedule"), str):
+            from ..ir.parser import parse_module
+            from ..scheduling import apply_schedule
+
+            apply_schedule(parse_module(record["schedule"]), module)
+            schedule_tag = hashlib.sha256(
+                record["schedule"].encode("utf-8")
+            ).hexdigest()[:16]
+        else:
             from ..execution.engine.optimizer import run_optimizer
 
-            run_optimizer(module, opt_mode)
+            run_optimizer(module, "full")
+            schedule_tag = "default"
         text = print_module(module)
-        if module_cache is not None:
-            module_cache.store_text(mkey, text)
+    else:
+        text = (
+            module_cache.load_text(mkey)
+            if module_cache is not None
+            else None
+        )
+        if text is None:
+            from ..ir import print_module
+
+            module = _build_module(spec)
+            # Optimize before printing so persisted module text — and
+            # every kernel (cold or warm) derived from it — reflects
+            # the mid-level optimizer's output.
+            if opt_mode != "none":
+                from ..execution.engine.optimizer import run_optimizer
+
+                run_optimizer(module, opt_mode)
+            text = print_module(module)
+            if module_cache is not None:
+                module_cache.store_text(mkey, text)
 
     from ..execution.engine.cache import KernelCache
 
+    tag = _kernel_tag(spec)
+    if schedule_tag:
+        tag += f"#sched={schedule_tag}"
     key = KernelCache.key_for_text(
-        hashlib.sha256(text.encode("utf-8")).hexdigest(),
-        _kernel_tag(spec),
+        hashlib.sha256(text.encode("utf-8")).hexdigest(), tag
     )
     built = {}
 
@@ -410,6 +453,8 @@ def serve_unit(spec: dict) -> dict:
 
     compiled = caches.kernel_cache.get_or_compile_key(key, build_kernel)
     cached = "codegen" if built else "cache"
+    if schedule_tag:
+        spec = dict(spec, schedule_tag=schedule_tag)
 
     checksums = None
     if spec["execute"] or spec["warm_hot"]:
@@ -450,6 +495,10 @@ def _result(spec, key, cached, checksums, start) -> dict:
     }
     if spec.get("kernel"):
         result["kernel"] = spec["kernel"]
+    if spec.get("schedule_tag"):
+        # "default" = canned-full fallback; otherwise the first 16 hex
+        # chars of the persisted schedule's text hash.
+        result["schedule"] = spec["schedule_tag"]
     if checksums is not None:
         result["checksums"] = checksums
     return result

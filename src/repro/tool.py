@@ -29,7 +29,9 @@ def _generic_raising_pass():
     return GenericRaisingPass()
 
 
-def _pass_registry(raise_mode: str = "tdl") -> Dict[str, Callable[[], Pass]]:
+def _pass_registry(
+    raise_mode: str = "tdl", tile_sizes: List[int] = None
+) -> Dict[str, Callable[[], Pass]]:
     from .ir import LambdaPass
     from .raising import SynthRaisingPass
     from .tactics.chain import MatrixChainReorderPass
@@ -69,7 +71,9 @@ def _pass_registry(raise_mode: str = "tdl") -> Dict[str, Callable[[], Pass]]:
         "convert-linalg-to-blas": LinalgToBlasPass,
         "convert-linalg-to-affine-loops": LinalgToAffinePass,
         "affine-expand-matmul": ExpandAffineMatmulPass,
-        "affine-loop-tile": TileLoopNestPass,
+        "affine-loop-tile": lambda: TileLoopNestPass(
+            tile_sizes if tile_sizes else 32
+        ),
         "canonicalize": CanonicalizePass,
         "lower-affine": AffineToSCFPass,
         "convert-scf-to-llvm": SCFToLLVMPass,
@@ -102,9 +106,11 @@ def load_input(path_or_dash: str, source_kind: str = "auto") -> ModuleOp:
 
 
 def build_pipeline(
-    pass_names: List[str], raise_mode: str = "tdl"
+    pass_names: List[str],
+    raise_mode: str = "tdl",
+    tile_sizes: List[int] = None,
 ) -> PassManager:
-    registry = _pass_registry(raise_mode)
+    registry = _pass_registry(raise_mode, tile_sizes=tile_sizes)
     pm = PassManager(Context(), verify_each=False)
     for name in pass_names:
         if name not in registry:
@@ -235,6 +241,12 @@ def main(argv: List[str] = None) -> int:
         "per-stage OptStats taxonomy to stderr",
     )
     parser.add_argument(
+        "--tile-sizes",
+        help="comma-separated tile edges: drives -affine-loop-tile "
+        "(per-depth, last repeats) and the --opt-mode tiling stage "
+        "(first value; default: 32)",
+    )
+    parser.add_argument(
         "--raise-mode",
         choices=["tdl", "synth", "tdl+synth"],
         default="tdl",
@@ -254,6 +266,17 @@ def main(argv: List[str] = None) -> int:
     )
     args = parser.parse_args(rest)
 
+    tile_sizes = None
+    if args.tile_sizes:
+        try:
+            tile_sizes = [
+                int(part) for part in args.tile_sizes.split(",") if part
+            ]
+        except ValueError:
+            parser.error(f"--tile-sizes: not integers: {args.tile_sizes!r}")
+        if not tile_sizes or any(size < 1 for size in tile_sizes):
+            parser.error("--tile-sizes needs positive integers")
+
     if len(args.input) > 1:
         return _batch_main(args, pass_names)
 
@@ -270,7 +293,9 @@ def main(argv: List[str] = None) -> int:
     from .ir import set_default_driver
 
     set_default_driver(args.driver)
-    pm = build_pipeline(pass_names, raise_mode=args.raise_mode)
+    pm = build_pipeline(
+        pass_names, raise_mode=args.raise_mode, tile_sizes=tile_sizes
+    )
     timing = pm.run(module)
     if not args.no_verify:
         verify(module, pm.context)
@@ -307,6 +332,7 @@ def main(argv: List[str] = None) -> int:
                 engine_stats=args.engine_stats,
                 opt_mode=args.opt_mode,
                 opt_stats=args.opt_stats,
+                tile_size=tile_sizes[0] if tile_sizes else None,
             )
         except Exception as exc:
             sys.stderr.write(f"mlt-opt: --execute: {exc}\n")
@@ -416,6 +442,7 @@ def _execute_module(
     engine_stats: bool = False,
     opt_mode: str = "none",
     opt_stats: bool = False,
+    tile_size: int = None,
 ) -> None:
     """Run one function on deterministic random inputs and report a
     checksum per output buffer (the two --engine backends must print
@@ -428,7 +455,7 @@ def _execute_module(
         from .execution import ExecutionEngine
 
         compiled = ExecutionEngine(
-            module, pipeline="mlt-opt", opt_mode=opt_mode
+            module, pipeline="mlt-opt", opt_mode=opt_mode, tile_size=tile_size
         )
         compiled.run(func_name, *args)
         if engine_stats:
@@ -571,6 +598,12 @@ def fuzz_main(argv: List[str] = None) -> int:
         help="skip the mid-level-optimizer (opt-mode none vs full) "
         "engine cross-check",
     )
+    parser.add_argument(
+        "--no-schedule-diff",
+        action="store_true",
+        help="skip the random-schedule (transform-dialect interpreter) "
+        "payload cross-check",
+    )
     args = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
 
     pipelines = args.pipelines.split(",") if args.pipelines else None
@@ -585,6 +618,7 @@ def fuzz_main(argv: List[str] = None) -> int:
         check_vectorize=not args.no_vectorize_diff,
         check_synth=not args.no_synth_diff,
         check_opt=not args.no_opt_diff,
+        check_schedule=not args.no_schedule_diff,
     )
     try:
         campaign = FuzzCampaign(**campaign_config)
@@ -640,6 +674,107 @@ def fuzz_main(argv: List[str] = None) -> int:
         )
     sys.stderr.write(stats.summary() + "\n")
     return 0 if stats.ok else 1
+
+
+def tune_main(argv: List[str] = None) -> int:
+    """``mlt-tune``: parallel schedule autotuning (see docs/scheduling.md).
+
+    Searches the transform-dialect schedule space per kernel, measures
+    candidates on real inputs across the worker pool, persists each
+    winner in the ``schedules/`` cache namespace, and writes a
+    ``BENCH_autotune`` report.
+    """
+    import json
+    import os
+
+    parser = argparse.ArgumentParser(
+        prog="mlt-tune",
+        description="Schedule autotuner: enumerate transform-dialect "
+        "schedules per kernel, time them in parallel on real inputs, "
+        "and persist the best schedule keyed by payload fingerprint "
+        "so warm compiles replay it with zero search cost.",
+    )
+    parser.add_argument(
+        "--kernels",
+        default="gemm,2mm,doitgen,atax",
+        help="comma-separated corpus kernels "
+        "(default: gemm,2mm,doitgen,atax)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=24,
+        help="max schedule evaluations per kernel (the opt-mode=full "
+        "equivalent is always candidate 0; default: 24)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for candidate evaluation (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timed runs per candidate; best-of wall-clock (default: 3)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="input RNG seed"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help="cache root: winners persist under <cache-dir>/schedules/ "
+        "(no caching without it — every run searches from scratch)",
+    )
+    parser.add_argument(
+        "--heavy",
+        action="store_true",
+        help="tune on the LARGE-size kernel sources instead of the "
+        "small ones",
+    )
+    parser.add_argument(
+        "--out",
+        default="benchmarks/results/BENCH_autotune.json",
+        help="JSON report path "
+        "(default: benchmarks/results/BENCH_autotune.json)",
+    )
+    args = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
+
+    from .scheduling.autotune import autotune
+
+    kernels = [k for k in args.kernels.split(",") if k]
+    payload = autotune(
+        kernels,
+        budget=args.budget,
+        jobs=args.jobs,
+        repeats=args.repeats,
+        seed=args.seed,
+        cache_dir=args.cache_dir,
+        heavy=args.heavy,
+    )
+    out_dir = os.path.dirname(args.out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    for row in payload["rows"]:
+        source = "cache" if row["cached"] else f"{row['evaluations']} evals"
+        sys.stderr.write(
+            f"mlt-tune: {row['kernel']}: default "
+            f"{row['default_wall_s'] * 1e6:.1f}us -> tuned "
+            f"{row['tuned_wall_s'] * 1e6:.1f}us "
+            f"({row['speedup']:.2f}x, {source})\n"
+        )
+    summary = payload["summary"]
+    sys.stderr.write(
+        f"mlt-tune: {summary['evaluations']} evaluations, "
+        f"{summary['cached']} kernels replayed from cache, best speedup "
+        f"{summary['best_speedup']:.2f}x; wrote {args.out}\n"
+    )
+    return 0
 
 
 def serve_main(argv: List[str] = None) -> int:

@@ -33,3 +33,4 @@ from .delinearization import (  # noqa: F401
     delinearize_accesses,
 )
 from .promotion import SCFToAffinePass, promote_scf_to_affine  # noqa: F401
+from .unroll import unroll_jam_loop, unroll_jam_loops  # noqa: F401

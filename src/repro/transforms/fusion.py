@@ -51,46 +51,80 @@ _CROSSABLE_OPS = frozenset(
 )
 
 
-def _same_iteration_space(a: AffineForOp, b: AffineForOp) -> bool:
-    """Identical iteration spaces: equal steps and structurally equal
-    bound maps over the *same* bound operands.
+def _bail(bails: Optional[Dict[str, int]], reason: str) -> bool:
+    """Record one fusion bail (when a sink is given); returns False so
+    legality checks can ``return _bail(...)``."""
+    if bails is not None:
+        bails[reason] = bails.get(reason, 0) + 1
+    return False
+
+
+def _iteration_space_mismatch(
+    a: AffineForOp, b: AffineForOp
+) -> Optional[str]:
+    """Why two loops' iteration spaces are not identical (None = they
+    are).
 
     Constant bounds compare through their (constant) maps, and bounds
     that are equal non-constant expressions of the same SSA operands
     (symbolic sizes, tile IVs) compare equal too — fusion does not
-    require the bounds to fold to literals.
+    require the bounds to fold to literals.  The distinct reasons feed
+    ``OptStats.fusion_bails`` so the autotuner's fuse decisions are
+    explainable:
+
+    * ``step-mismatch`` — different strides; never alignable.
+    * ``bounds-map-mismatch`` — structurally different bound
+      expressions (e.g. ``0..N`` vs ``0..M``); not alignable without
+      peeling.
+    * ``bounds-alignable-operands`` — *identical* bound expressions
+      over different SSA operands (same shape, different symbols).
+      These are the alignable-but-non-identical spaces a future
+      bounds-normalizing fusion could recover.
     """
     if a.step != b.step:
-        return False
+        return "step-mismatch"
     if (
         a.lower_bound_map != b.lower_bound_map
         or a.upper_bound_map != b.upper_bound_map
     ):
-        return False
+        return "bounds-map-mismatch"
     if len(a.lb_operands) != len(b.lb_operands) or len(a.ub_operands) != len(
         b.ub_operands
     ):
-        return False
-    return all(x is y for x, y in zip(a.lb_operands, b.lb_operands)) and all(
+        return "bounds-alignable-operands"
+    if all(x is y for x, y in zip(a.lb_operands, b.lb_operands)) and all(
         x is y for x, y in zip(a.ub_operands, b.ub_operands)
-    )
+    ):
+        return None
+    return "bounds-alignable-operands"
 
 
-def can_fuse(first: AffineForOp, second: AffineForOp) -> bool:
+def _same_iteration_space(a: AffineForOp, b: AffineForOp) -> bool:
+    return _iteration_space_mismatch(a, b) is None
+
+
+def can_fuse(
+    first: AffineForOp,
+    second: AffineForOp,
+    bails: Optional[Dict[str, int]] = None,
+) -> bool:
     """Conservative legality: identical iteration spaces, matching band
     depths, and only distance-0 conflicts (after the IVs are identified
-    with each other)."""
-    if not _same_iteration_space(first, second):
-        return False
+    with each other).  ``bails`` (reason -> count) records why a pair
+    was rejected."""
+    mismatch = _iteration_space_mismatch(first, second)
+    if mismatch is not None:
+        return _bail(bails, mismatch)
     from ..dialects.affine import perfect_nest
 
     first_band = perfect_nest(first)
     second_band = perfect_nest(second)
     if len(first_band) != len(second_band):
-        return False
+        return _bail(bails, "depth-mismatch")
     for f_loop, s_loop in zip(first_band[1:], second_band[1:]):
-        if not _same_iteration_space(f_loop, s_loop):
-            return False
+        mismatch = _iteration_space_mismatch(f_loop, s_loop)
+        if mismatch is not None:
+            return _bail(bails, f"inner-{mismatch}")
     first_accesses = collect_accesses(first)
     second_accesses = collect_accesses(second)
     for a in first_accesses:
@@ -98,7 +132,7 @@ def can_fuse(first: AffineForOp, second: AffineForOp) -> bool:
             if a.memref is not b.memref or not (a.is_write or b.is_write):
                 continue
             if not _conflict_is_aligned(a, b, first, second):
-                return False
+                return _bail(bails, "conflict-misaligned")
     return True
 
 
@@ -173,7 +207,11 @@ def _can_cross(second: AffineForOp, between: List[Operation]) -> bool:
     return True
 
 
-def fuse_sibling_loops(first: AffineForOp, second: AffineForOp) -> bool:
+def fuse_sibling_loops(
+    first: AffineForOp,
+    second: AffineForOp,
+    bails: Optional[Dict[str, int]] = None,
+) -> bool:
     """Fuse ``second`` into ``first`` if legal.  Returns success.
 
     ``second`` need not be adjacent to ``first``: intervening siblings
@@ -188,8 +226,8 @@ def fuse_sibling_loops(first: AffineForOp, second: AffineForOp) -> bool:
     if second_idx <= first_idx:
         return False
     if not _can_cross(second, ops[first_idx + 1 : second_idx]):
-        return False
-    if not can_fuse(first, second):
+        return _bail(bails, "cannot-hoist")
+    if not can_fuse(first, second, bails=bails):
         return False
     insert_at = len(first.body.operations) - 1
     second.induction_var.replace_all_uses_with(first.induction_var)
@@ -201,11 +239,20 @@ def fuse_sibling_loops(first: AffineForOp, second: AffineForOp) -> bool:
     return True
 
 
-def greedy_fuse(root: Operation, require_flow: bool = False) -> int:
+def greedy_fuse(
+    root: Operation,
+    require_flow: bool = False,
+    bails: Optional[Dict[str, int]] = None,
+) -> int:
     """Fuse fusable sibling loops under ``root`` across whole sibling
     lists (maxfuse).  With ``require_flow=True`` only producer/consumer
     pairs fuse — the engine optimizer's policy, which avoids gluing
-    independent nests into multi-store bodies the vectorizer rejects."""
+    independent nests into multi-store bodies the vectorizer rejects.
+
+    ``bails`` accumulates a reason -> count taxonomy over every
+    rejected candidate pair (pairs re-examined across fixpoint rounds
+    count once per attempt).
+    """
     fused = 0
     changed = True
     while changed:
@@ -219,8 +266,9 @@ def greedy_fuse(root: Operation, require_flow: bool = False) -> int:
                 if not isinstance(candidate, AffineForOp):
                     continue
                 if require_flow and not has_flow(op, candidate):
+                    _bail(bails, "no-flow")
                     continue
-                if fuse_sibling_loops(op, candidate):
+                if fuse_sibling_loops(op, candidate, bails=bails):
                     fused += 1
                     changed = True
                     break

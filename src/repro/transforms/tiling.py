@@ -117,12 +117,27 @@ def tile_perfect_nest(
 
 
 class TileLoopNestPass(FunctionPass):
-    """Tile every outermost perfect band with a fixed tile size."""
+    """Tile every outermost perfect band with a fixed tile size.
+
+    ``tile_size`` is one edge applied at every depth, or a per-depth
+    size list (the last entry repeats for deeper bands) — the form
+    ``mlt-opt --tile-sizes`` and the schedule autotuner drive.
+    """
 
     name = "affine-loop-tile"
 
-    def __init__(self, tile_size: int = 32):
+    def __init__(self, tile_size=32):
         self.tile_size = tile_size
+
+    def _sizes_for(self, depth: int) -> List[int]:
+        if isinstance(self.tile_size, int):
+            return [self.tile_size] * depth
+        sizes = list(self.tile_size)
+        if not sizes:
+            sizes = [32]
+        while len(sizes) < depth:
+            sizes.append(sizes[-1])
+        return sizes[:depth]
 
     def run_on_function(self, func, context):
         from ..dialects.affine import outermost_loops
@@ -131,7 +146,7 @@ class TileLoopNestPass(FunctionPass):
         for loop in outermost_loops(func):
             band = perfect_nest(loop)
             try:
-                tile_perfect_nest(loop, [self.tile_size] * len(band))
+                tile_perfect_nest(loop, self._sizes_for(len(band)))
             except TilingError:
                 continue
             tiled += 1

@@ -44,7 +44,15 @@ class TestDialectOps:
 
     def test_all_dialects_enumeration(self):
         names = {d.name for d in all_dialects()}
-        assert names == {"std", "affine", "scf", "linalg", "blas", "llvm"}
+        assert names == {
+            "std",
+            "affine",
+            "scf",
+            "linalg",
+            "blas",
+            "llvm",
+            "transform",
+        }
 
 
 class TestAbstractionLadder:

@@ -40,21 +40,31 @@ class TestEngineDiffStages:
         opt_stages = [
             s for s in report.stages if s.stage.startswith("opt-diff:")
         ]
+        schedule_stages = [
+            s for s in report.stages if s.stage.startswith("schedule-diff:")
+        ]
         interp_stages = [
             s
             for s in report.stages
             if not s.stage.startswith(
-                ("engine-diff:", "vectorize-diff:", "opt-diff:")
+                (
+                    "engine-diff:",
+                    "vectorize-diff:",
+                    "opt-diff:",
+                    "schedule-diff:",
+                )
             )
         ]
-        # One engine, one vectorizer, and one optimizer cross-check per
-        # successfully interpreted snapshot.
+        # One engine, one vectorizer, one optimizer, and one schedule
+        # cross-check per successfully interpreted snapshot.
         assert len(engine_stages) == len(interp_stages)
         assert len(vectorize_stages) == len(interp_stages)
         assert len(opt_stages) == len(interp_stages)
+        assert len(schedule_stages) == len(interp_stages)
         assert all(s.kind == "ok" for s in engine_stages)
         assert all(s.kind == "ok" for s in vectorize_stages)
         assert all(s.kind == "ok" for s in opt_stages)
+        assert all(s.kind == "ok" for s in schedule_stages)
         assert all(s.ir_text for s in engine_stages)
 
     def test_check_engine_false_omits_stages(self, pipelines):

@@ -1,0 +1,66 @@
+"""Autotuner driver: search, persistence, warm replay."""
+
+import json
+import os
+
+import pytest
+
+from repro.scheduling.autotune import (
+    DEFAULT_TUNE_KERNELS,
+    ScheduleCache,
+    autotune,
+    autotune_kernel,
+    default_params,
+    enumerate_space,
+)
+
+
+def test_space_enumerates_default_point_first():
+    points = enumerate_space()
+    assert points[0] == default_params()
+    # no duplicates: a wasted evaluation is a wasted budget slot
+    seen = [json.dumps(p, sort_keys=True) for p in points]
+    assert len(seen) == len(set(seen))
+
+
+def test_tune_cold_then_warm_replay(tmp_path):
+    cache_dir = str(tmp_path / "tune")
+    cold = autotune_kernel(
+        "atax", budget=3, jobs=1, repeats=1, cache_dir=cache_dir
+    )
+    assert cold["cached"] is False
+    assert cold["evaluations"] == 3
+    # default point is in-budget, so tuned can never lose
+    assert cold["tuned_wall_s"] <= cold["default_wall_s"]
+    assert os.path.isdir(os.path.join(cache_dir, "schedules"))
+
+    warm = autotune_kernel(
+        "atax", budget=3, jobs=1, repeats=1, cache_dir=cache_dir
+    )
+    assert warm["cached"] is True
+    assert warm["evaluations"] == 0
+    assert warm["best_params"] == cold["best_params"]
+    # warm speedup is the persisted search-time measurement pair
+    assert warm["speedup"] == pytest.approx(cold["speedup"])
+    assert warm["replay_wall_s"] > 0
+
+
+def test_schedule_cache_rejects_garbage(tmp_path):
+    cache = ScheduleCache(str(tmp_path))
+    cache.disk.store_text(cache.key_for("fp"), "not json")
+    assert cache.load("fp") is None
+
+
+def test_autotune_summary_shape(tmp_path):
+    results = autotune(
+        kernels=("atax",),
+        budget=2,
+        jobs=1,
+        repeats=1,
+        cache_dir=str(tmp_path / "tune"),
+    )
+    assert [row["kernel"] for row in results["rows"]] == ["atax"]
+    summary = results["summary"]
+    assert summary["evaluations"] == 2
+    assert summary["best_speedup"] >= 1.0
+    assert set(DEFAULT_TUNE_KERNELS) >= {"gemm", "atax"}

@@ -1,0 +1,76 @@
+"""Transform-dialect syntax invariants.
+
+The schedule IR is the persistence format of the autotuner (records in
+the ``schedules/`` cache namespace are printed schedule modules), so
+print -> parse -> print must be byte-stable over the whole space of
+schedules the tuner and fuzzer can emit.
+"""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dialects.transform import STEP_OPS, SequenceOp, find_sequences
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.scheduling import (
+    canned_schedule,
+    random_schedule,
+    schedule_from_params,
+)
+from repro.scheduling.autotune import enumerate_space
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_random_schedule_roundtrips_byte_identically(seed):
+    schedule = random_schedule(random.Random(seed))
+    text = print_module(schedule)
+    reparsed = print_module(parse_module(text))
+    assert reparsed == text
+    # and a second trip is a fixpoint
+    assert print_module(parse_module(reparsed)) == text
+
+
+@given(
+    st.booleans(),
+    st.sampled_from(["fuse-first", "distribute-first"]),
+    st.sampled_from([0, 2, 8, 16, 32, 64]),
+    st.sampled_from([0, 2, 3, 4]),
+    st.sampled_from(["none", "innermost", "nest"]),
+)
+def test_param_schedule_roundtrips(fuse, order, tile, unroll_jam, vectorize):
+    schedule = schedule_from_params(
+        {
+            "fuse": fuse,
+            "order": order,
+            "tile": tile,
+            "unroll_jam": unroll_jam,
+            "vectorize": vectorize,
+        }
+    )
+    text = print_module(schedule)
+    assert print_module(parse_module(text)) == text
+
+
+def test_canned_schedules_roundtrip_and_structure():
+    for mode in ("none", "fuse", "full"):
+        schedule = canned_schedule(mode)
+        text = print_module(schedule)
+        assert print_module(parse_module(text)) == text
+        sequences = find_sequences(parse_module(text))
+        assert len(sequences) == 1
+        assert isinstance(sequences[0], SequenceOp)
+
+
+def test_tuner_space_reifies_and_roundtrips():
+    for params in enumerate_space():
+        text = print_module(schedule_from_params(params))
+        assert print_module(parse_module(text)) == text
+
+
+def test_step_registry_covers_printed_names():
+    # Every registered step op parses back through the generic path.
+    assert "transform.tile" in STEP_OPS
+    assert "transform.fuse" in STEP_OPS
+    assert "transform.vectorize" in STEP_OPS

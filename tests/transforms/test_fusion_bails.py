@@ -1,0 +1,75 @@
+"""Fusion bail taxonomy: every rejection names its reason.
+
+The ``bails`` dict threaded through ``can_fuse``/``greedy_fuse``
+(surfaced as ``OptStats.fusion_bails``) is what makes a schedule's
+fuse decision explainable: "fusion didn't happen" always comes with a
+reason count.
+"""
+
+from repro.dialects.affine import outermost_loops
+from repro.execution.engine.optimizer import OptStats, run_optimizer
+from repro.met import compile_c
+from repro.transforms.fusion import can_fuse, greedy_fuse
+
+
+def _loops(source):
+    module = compile_c(source, distribute=False)
+    return module, outermost_loops(module.functions[0])
+
+
+def test_bounds_mismatch_is_counted():
+    _, loops = _loops(
+        "void f(float A[8], float B[6]) {\n"
+        "  for (int i = 0; i < 8; i++) A[i] = 1.0f;\n"
+        "  for (int j = 0; j < 6; j++) B[j] = 2.0f;\n"
+        "}\n"
+    )
+    bails = {}
+    assert not can_fuse(loops[0], loops[1], bails=bails)
+    assert bails == {"bounds-map-mismatch": 1}
+
+
+def test_depth_mismatch_is_counted():
+    _, loops = _loops(
+        "void f(float A[4][4], float B[4]) {\n"
+        "  for (int i = 0; i < 4; i++)\n"
+        "    for (int j = 0; j < 4; j++) A[i][j] = 1.0f;\n"
+        "  for (int k = 0; k < 4; k++) B[k] = 2.0f;\n"
+        "}\n"
+    )
+    bails = {}
+    assert not can_fuse(loops[0], loops[1], bails=bails)
+    assert bails == {"depth-mismatch": 1}
+
+
+def test_no_flow_policy_bail():
+    module, _ = _loops(
+        "void f(float A[8], float B[8]) {\n"
+        "  for (int i = 0; i < 8; i++) A[i] = 1.0f;\n"
+        "  for (int j = 0; j < 8; j++) B[j] = 2.0f;\n"
+        "}\n"
+    )
+    bails = {}
+    fused = greedy_fuse(
+        module.functions[0], require_flow=True, bails=bails
+    )
+    assert fused == 0
+    assert bails.get("no-flow", 0) >= 1
+    # without the flow policy the same pair fuses (identical spaces,
+    # disjoint arrays): the bail was policy, not legality
+    assert greedy_fuse(module.functions[0]) == 1
+
+
+def test_optimizer_snapshot_carries_taxonomy():
+    module = compile_c(
+        "void f(float A[8], float B[6]) {\n"
+        "  for (int i = 0; i < 8; i++) A[i] = A[i] + 1.0f;\n"
+        "  for (int j = 0; j < 6; j++) B[j] = B[j] + 2.0f;\n"
+        "}\n",
+        distribute=False,
+    )
+    stats = run_optimizer(module, "fuse")
+    snap = stats.snapshot()
+    assert "fusion_bails" in snap
+    assert isinstance(snap["fusion_bails"], dict)
+    assert OptStats().snapshot()["fusion_bails"] == {}
