@@ -52,6 +52,7 @@ class ExecutionEngine:
         opt_mode: str = "none",
         tile_size: Optional[int] = None,
         schedule: Optional[ModuleOp] = None,
+        pass_cache=None,
     ):
         from .optimizer import DEFAULT_TILE_SIZE, OPT_MODES, run_optimizer
 
@@ -99,16 +100,26 @@ class ExecutionEngine:
             cache_tag += f"#sched={fingerprint_module(schedule)[:16]}"
 
         def _build(key: str) -> CompiledModule:
+            # ``pass_cache`` is the function-granular compilation
+            # firewall: on a kernel-cache miss, any optimizer/schedule
+            # stage already cached for an unchanged function is spliced
+            # in instead of re-running (keys are content-addressed, so
+            # this never changes the produced IR).
             target = module
             opt_stats = None
             schedule_stats = None
             if schedule is not None:
                 target = module.clone()
-                schedule_stats = apply_schedule(schedule, target).snapshot()
+                schedule_stats = apply_schedule(
+                    schedule, target, pass_cache=pass_cache
+                ).snapshot()
             elif opt_mode != "none":
                 target = module.clone()
                 opt_stats = run_optimizer(
-                    target, opt_mode, tile_size=tile_size
+                    target,
+                    opt_mode,
+                    tile_size=tile_size,
+                    pass_cache=pass_cache,
                 ).snapshot()
             compiled = compile_module(target, key, vectorize=vectorize)
             compiled.opt_stats = opt_stats

@@ -286,13 +286,74 @@ def _tile_scalar_nests(func: Operation, tile_size: int, stats: OptStats) -> None
 # ----------------------------------------------------------------------
 
 
+def _stage_runner(fn):
+    """Adapt a ``fn(func, scratch_stats)`` stage body into a pass-cache
+    runner returning the JSON-safe counter-delta dict."""
+
+    def runner(func):
+        scratch = OptStats()
+        fn(func, scratch)
+        meta = {
+            key: value
+            for key, value in scratch._counter_values().items()
+            if value
+        }
+        if scratch.fusion_bails:
+            meta["fusion_bails"] = dict(scratch.fusion_bails)
+        return meta
+
+    return runner
+
+
+def apply_stage_meta(stats: OptStats, meta: Dict) -> None:
+    """Fold one function's stage-counter deltas into ``stats`` — the
+    replay path that keeps cached runs observably identical."""
+    for key, value in meta.items():
+        if key == "fusion_bails":
+            for reason, count in value.items():
+                stats.fusion_bails[reason] = (
+                    stats.fusion_bails.get(reason, 0) + count
+                )
+        else:
+            setattr(stats, key, getattr(stats, key) + value)
+
+
+def run_function_stage(
+    pass_cache, func, stage_name, config, fn, stats, fp=None
+):
+    """Run (or replay from cache) one optimizer stage on one function.
+
+    Returns ``(func, fp)`` — the possibly-respliced function op plus
+    its post-stage fingerprint (``None`` when unknown); callers must
+    thread both back into their per-function lists so consecutive
+    cache hits fingerprint each function once, not once per stage.
+    """
+    from ...ir.pass_cache import cached_stage
+
+    func, meta, fp = cached_stage(
+        pass_cache, func, stage_name, config, _stage_runner(fn), fp=fp
+    )
+    apply_stage_meta(stats, meta)
+    return func, fp
+
+
 def run_optimizer(
-    module: Operation, mode: str = "full", tile_size: int = DEFAULT_TILE_SIZE
+    module: Operation,
+    mode: str = "full",
+    tile_size: int = DEFAULT_TILE_SIZE,
+    pass_cache=None,
 ) -> OptStats:
     """Run the optimizer pipeline in-place on ``module``.
 
     Returns the populated :class:`OptStats`.  ``mode="none"`` returns
     immediately without touching the IR.
+
+    ``pass_cache`` (a :class:`~repro.ir.pass_cache.PassResultCache`)
+    memoizes every stage per function: a warm run splices cached
+    post-stage IR and replays the recorded counter deltas instead of
+    re-running the transforms.  The ``tile`` stage is the exception —
+    it annotates loops with the non-printed ``_opt_no_vectorize`` tag,
+    which a text splice cannot reproduce — so it always executes.
     """
     if mode not in OPT_MODES:
         raise ValueError(
@@ -310,48 +371,49 @@ def run_optimizer(
         else:
             stats.functions_skipped += 1
 
-    def _fuse() -> None:
-        for func in funcs:
-            stats.loops_fused += greedy_fuse(
-                func, require_flow=True, bails=stats.fusion_bails
-            )
+    def _fuse(func, scratch) -> None:
+        scratch.loops_fused += greedy_fuse(
+            func, require_flow=True, bails=scratch.fusion_bails
+        )
 
-    def _copy_elim() -> None:
-        for func in funcs:
-            result = copy_eliminate(func)
-            stats.stores_forwarded += result.stores_forwarded
-            stats.dead_stores_removed += result.dead_stores_removed
-            stats.dead_allocs_removed += result.dead_allocs_removed
+    def _copy_elim(func, scratch) -> None:
+        result = copy_eliminate(func)
+        scratch.stores_forwarded += result.stores_forwarded
+        scratch.dead_stores_removed += result.dead_stores_removed
+        scratch.dead_allocs_removed += result.dead_allocs_removed
 
-    def _dead_loops() -> None:
-        for func in funcs:
-            _eliminate_redundant_loops(func, stats)
+    def _dead_loops(func, scratch) -> None:
+        _eliminate_redundant_loops(func, scratch)
 
-    def _canonicalize() -> None:
-        for func in funcs:
-            stats.simplifications += canonicalize(func)
+    def _canonicalize(func, scratch) -> None:
+        scratch.simplifications += canonicalize(func)
 
-    def _distribute() -> None:
-        for func in funcs:
-            stats.loops_distributed += distribute_loops(func)
+    def _distribute(func, scratch) -> None:
+        scratch.loops_distributed += distribute_loops(func)
 
-    def _tile() -> None:
-        for func in funcs:
-            _tile_scalar_nests(func, tile_size, stats)
+    def _tile(func, scratch) -> None:
+        _tile_scalar_nests(func, tile_size, scratch)
 
-    stages = [("fuse", _fuse)]
+    # (stage name, body, cache config; None config = never cached).
+    stages = [("fuse", _fuse, "flow=True")]
     if mode == "full":
         stages += [
-            ("copy-elim", _copy_elim),
-            ("dead-loops", _dead_loops),
-            ("canonicalize", _canonicalize),
-            ("distribute", _distribute),
-            ("tile", _tile),
+            ("copy-elim", _copy_elim, ""),
+            ("dead-loops", _dead_loops, ""),
+            ("canonicalize", _canonicalize, ""),
+            ("distribute", _distribute, ""),
+            ("tile", _tile, None),
         ]
 
-    for name, run in stages:
+    fps: List[Optional[str]] = [None] * len(funcs)
+    for name, fn, config in stages:
         before = stats._counter_values()
-        run()
+        cache = pass_cache if config is not None else None
+        for index, func in enumerate(funcs):
+            funcs[index], fps[index] = run_function_stage(
+                cache, func, f"opt.{name}", config or "", fn, stats,
+                fp=fps[index],
+            )
         delta = {
             key: value - before[key]
             for key, value in stats._counter_values().items()

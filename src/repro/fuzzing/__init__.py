@@ -38,6 +38,7 @@ from .oracle import (  # noqa: F401
     PipelineStage,
     StageResult,
     build_pipelines,
+    check_incremental_equivalence,
     check_module,
     check_opt_module,
     run_oracle,

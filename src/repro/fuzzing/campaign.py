@@ -40,6 +40,7 @@ from .oracle import (
     Pipeline,
     build_pipelines,
     check_driver_equivalence,
+    check_incremental_equivalence,
     run_oracle,
     run_oracle_on_module,
 )
@@ -66,6 +67,7 @@ class FuzzFailure:
         return (
             self.kind == "affine-module"
             or self.pipeline.startswith("driver-diff")
+            or self.pipeline.startswith("incremental-diff")
             or self.reduced_source is not None
         )
 
@@ -154,6 +156,7 @@ class FuzzCampaign:
         check_synth: bool = True,
         check_opt: bool = True,
         check_schedule: bool = True,
+        check_incremental: bool = True,
     ):
         self.out_dir = out_dir
         self.rtol = rtol
@@ -165,6 +168,7 @@ class FuzzCampaign:
         self.check_synth = check_synth
         self.check_opt = check_opt
         self.check_schedule = check_schedule
+        self.check_incremental = check_incremental
         self.write_artifacts = write_artifacts
         registry = build_pipelines(fuzz_tile_size)
         if extra_pipelines:
@@ -239,7 +243,7 @@ class FuzzCampaign:
                 failures.append(
                     self._handle_c_failure(seed, kernel, pipeline, report)
                 )
-        if self.check_drivers:
+        if self.check_drivers or self.check_incremental:
             try:
                 from ..met import compile_c
 
@@ -247,17 +251,30 @@ class FuzzCampaign:
             except Exception:
                 module = None  # frontend crash is reported by run_oracle
             if module is not None:
-                failures.extend(
-                    self._run_driver_checks(
-                        seed,
-                        "c-kernel",
-                        kernel.family,
-                        kernel.source,
-                        kernel.func_name,
-                        module,
-                        stats,
+                if self.check_drivers:
+                    failures.extend(
+                        self._run_driver_checks(
+                            seed,
+                            "c-kernel",
+                            kernel.family,
+                            kernel.source,
+                            kernel.func_name,
+                            module,
+                            stats,
+                        )
                     )
-                )
+                if self.check_incremental:
+                    failures.extend(
+                        self._run_incremental_checks(
+                            seed,
+                            "c-kernel",
+                            kernel.family,
+                            kernel.source,
+                            kernel.func_name,
+                            module,
+                            stats,
+                        )
+                    )
         if self.check_modules:
             generated = generate_affine_module(seed)
             for name, pipeline in self.pipelines.items():
@@ -287,6 +304,20 @@ class FuzzCampaign:
 
                 failures.extend(
                     self._run_driver_checks(
+                        seed,
+                        "affine-module",
+                        "affine-module",
+                        print_module(generated.module),
+                        generated.func_name,
+                        generated.module,
+                        stats,
+                    )
+                )
+            if self.check_incremental:
+                from ..ir import print_module
+
+                failures.extend(
+                    self._run_incremental_checks(
                         seed,
                         "affine-module",
                         "affine-module",
@@ -327,6 +358,46 @@ class FuzzCampaign:
             failure = FuzzFailure(
                 seed=seed,
                 pipeline=f"driver-diff-{name}",
+                kind=kind,
+                family=family,
+                report=report,
+                bisection=None,
+                source=source,
+            )
+            if self.write_artifacts:
+                failure.artifact_dir = self._dump(failure)
+            failures.append(failure)
+        return failures
+
+    def _run_incremental_checks(
+        self,
+        seed: int,
+        kind: str,
+        family: str,
+        source: str,
+        func_name: str,
+        module,
+        stats: CampaignStats,
+    ) -> List[FuzzFailure]:
+        """Incremental-vs-scratch IR diff for every configured pipeline.
+
+        A mismatch is a pass-cache bug (bad key, lying change report,
+        unsound splice), not a pipeline bug, so there is no bisection
+        or reduction step: the check itself already names the first
+        diverging pass, and the seed replays it.
+        """
+        failures: List[FuzzFailure] = []
+        for name, pipeline in self.pipelines.items():
+            result = check_incremental_equivalence(module, pipeline)
+            stats.checks += 1
+            stats.stages_checked += 1
+            if result.ok:
+                continue
+            report = OracleReport(f"incremental-diff:{name}", func_name)
+            report.stages.append(result)
+            failure = FuzzFailure(
+                seed=seed,
+                pipeline=f"incremental-diff-{name}",
                 kind=kind,
                 family=family,
                 report=report,

@@ -28,7 +28,14 @@ stage*, and after every stage checks the module snapshot three ways:
 7. **driver-diff** — the worklist and snapshot greedy pattern drivers
    must produce byte-identical printed IR for the whole pipeline
    (:func:`check_driver_equivalence`; disable with
-   ``check_drivers=False`` or ``mlt-fuzz --no-driver-diff``).
+   ``check_drivers=False`` or ``mlt-fuzz --no-driver-diff``);
+8. **incremental-diff** — compiling through the function-granular
+   pass-result cache (cold, then fully warm) must produce printed IR
+   byte-identical to a from-scratch run after *every* pass of the
+   pipeline (:func:`check_incremental_equivalence`; disable with
+   ``check_incremental=False`` or ``mlt-fuzz --no-incremental-diff``).
+   This is the oracle that makes the pass cache's verify-skipping
+   sound: correctness is continuously re-earned, not assumed.
 
 A stage that raises, fails verification, breaks the round-trip, or
 diverges numerically produces a :class:`StageResult` failure; the
@@ -617,6 +624,81 @@ def check_driver_equivalence(
             result_name, False, "driver-diff", detail, reference_text
         )
     return StageResult(result_name, True, "ok", "", reference_text)
+
+
+def check_incremental_equivalence(
+    module: ModuleOp, pipeline: Pipeline
+) -> StageResult:
+    """Cross-check incremental (pass-cached) compilation vs scratch.
+
+    Runs every pass of ``pipeline`` three times over independent clones
+    of ``module`` — from scratch (no pass cache), cold through a fresh
+    :class:`~repro.ir.pass_cache.PassResultCache`, and warm through the
+    now-populated cache (every cacheable pass result replays without
+    executing) — and requires the printed IR to be byte-identical after
+    *every single pass*.  A crash is folded into the comparison like
+    ``driver-diff`` does: all three runs must crash at the same pass
+    with the same error, so a cache path that diverges by raising (or
+    by *not* raising) is caught too.
+
+    Diffing at pass granularity means a failure directly names the
+    first pass whose cached replay diverged — the bisection is built
+    into the check.
+    """
+    import difflib
+
+    from ..ir import PassManager, PassResultCache
+
+    result_name = f"incremental-diff:{pipeline.name}"
+    passes = pipeline.flat_passes()
+
+    def snapshots(cache) -> List[str]:
+        target = module.clone()
+        snaps: List[str] = []
+        for _, pass_name, factory in passes:
+            pm = PassManager(
+                Context(), verify_each=False, pass_cache=cache
+            )
+            pm.add(factory())
+            try:
+                pm.run(target)
+                snaps.append(print_module(target))
+            except Exception as exc:
+                snaps.append(
+                    f"<{pass_name} raised {type(exc).__name__}: {exc}>"
+                )
+                break
+        return snaps
+
+    reference = snapshots(None)
+    final_text = reference[-1] if reference else ""
+    cache = PassResultCache()
+    for label in ("cold", "warm"):
+        actual = snapshots(cache)
+        for index in range(max(len(reference), len(actual))):
+            ref = reference[index] if index < len(reference) else "<missing>"
+            act = actual[index] if index < len(actual) else "<missing>"
+            if ref == act:
+                continue
+            _, pass_name, _ = passes[min(index, len(passes) - 1)]
+            diff = list(
+                difflib.unified_diff(
+                    ref.splitlines(),
+                    act.splitlines(),
+                    fromfile="scratch",
+                    tofile=f"incremental-{label}",
+                    lineterm="",
+                    n=2,
+                )
+            )
+            detail = (
+                f"{label} cache run diverges at pass {index + 1}/"
+                f"{len(passes)} '{pass_name}': " + " | ".join(diff[:12])
+            )
+            return StageResult(
+                result_name, False, "incremental-diff", detail, final_text
+            )
+    return StageResult(result_name, True, "ok", "", final_text)
 
 
 # ----------------------------------------------------------------------

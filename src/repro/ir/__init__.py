@@ -39,6 +39,14 @@ from .core import (  # noqa: F401
     create_operation,
     register_op,
 )
+from .pass_cache import (  # noqa: F401
+    PASS_CACHE_VERSION,
+    PassCacheStats,
+    PassResultCache,
+    cached_stage,
+    fingerprint_function,
+    splice_function,
+)
 from .pass_manager import (  # noqa: F401
     FunctionPass,
     LambdaPass,

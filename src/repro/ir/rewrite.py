@@ -65,7 +65,26 @@ class PatternRewriter(Builder):
 
     def insert(self, op: Operation) -> Operation:
         self.created.append(op)
-        return super().insert(op)
+        super().insert(op)
+        self._invalidate_fingerprints(op)
+        return op
+
+    @staticmethod
+    def _invalidate_fingerprints(op: Operation) -> None:
+        """Bump the enclosing module's mutation counter.
+
+        Every structural mutation through a rewriter invalidates the
+        module's memoized printed-IR fingerprint (kernel cache, pass
+        cache) — so IR mutated through a :class:`PatternRewriter` can
+        never re-serve a stale digest, even without an explicit
+        ``bump_version()`` by the caller.
+        """
+        top: Optional[Operation] = op
+        while top is not None and top.parent_op is not None:
+            top = top.parent_op
+        bump = getattr(top, "bump_version", None)
+        if bump is not None:
+            bump()
 
     def reset(self) -> None:
         """Clear all notifications (the drivers reuse one rewriter)."""
@@ -94,6 +113,7 @@ class PatternRewriter(Builder):
             if def_op is not None:
                 self.touched_defs.append(def_op)
         self._note_erase_site(op)
+        self._invalidate_fingerprints(op)
         op.erase()
         self.erased.append(op)
 
@@ -112,6 +132,7 @@ class PatternRewriter(Builder):
                 if def_op is not None and id(def_op) not in subtree_ids:
                     self.touched_defs.append(def_op)
         self._note_erase_site(root)
+        self._invalidate_fingerprints(root)
         root.drop_all_references()
         if root.parent_block is not None:
             root.parent_block.remove(root)

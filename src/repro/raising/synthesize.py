@@ -123,6 +123,9 @@ class SynthRaisingPass(FunctionPass):
         self.config = config or SynthConfig()
         self.stats = stats if stats is not None else RaiseStats()
 
+    def cache_config(self) -> str:
+        return repr(self.config)
+
     @property
     def raise_stats(self) -> RaiseStats:
         """Uniform accessor for ``mlt-opt --raise-stats``."""

@@ -59,7 +59,7 @@ def module_cache_key(text: str, pass_names: Sequence[str], driver: str) -> str:
 def _init_worker(config: dict) -> None:
     global _WORKER_STATE
     from ..execution.engine.disk_cache import DiskKernelCache
-    from ..ir import set_default_driver
+    from ..ir import PassResultCache, set_default_driver
 
     state = dict(config)
     set_default_driver(config["driver"])
@@ -72,6 +72,17 @@ def _init_worker(config: dict) -> None:
     else:
         state["module_cache"] = None
         state["kernel_cache_dir"] = None
+    if config.get("pass_cache", True):
+        # Function-granular tier below the whole-module cache: when an
+        # edited input misses the module cache, unchanged functions
+        # still skip their passes.  All workers share one ``passes/``
+        # namespace beside ``modules/`` and ``kernels/``.
+        cache = PassResultCache()
+        if cache_dir:
+            cache.attach_disk(cache_dir)
+        state["pass_cache_obj"] = cache
+    else:
+        state["pass_cache_obj"] = None
     _WORKER_STATE = state
 
 
@@ -111,6 +122,7 @@ def _process_file(input_path: str, state: dict) -> BatchResult:
     if text is None:
         module = load_input(input_path, state["source_kind"])
         pm = build_pipeline(pass_names)
+        pm.pass_cache = state.get("pass_cache_obj")
         pm.run(module)
         if state["verify"]:
             verify(module, pm.context)
@@ -165,6 +177,7 @@ def run_batch(
     source_kind: str = "auto",
     verify: bool = True,
     compile_kernels: bool = False,
+    pass_cache: bool = True,
 ) -> List[BatchResult]:
     """Compile many input files through one shared pool and cache."""
     if out_dir:
@@ -177,6 +190,7 @@ def run_batch(
         "source_kind": source_kind,
         "verify": verify,
         "compile_kernels": compile_kernels,
+        "pass_cache": pass_cache,
     }
     return parallel_map(
         _run_unit,

@@ -123,21 +123,36 @@ _WORKER_STATE: Optional[dict] = None
 
 def _init_worker(config: dict) -> None:
     global _WORKER_STATE
+    from ..ir import PassResultCache
     from ..ir.parser import parse_module
 
     state = dict(config)
     state["module"] = parse_module(config["module_text"])
+    if config.get("pass_cache", True):
+        # One pass-result cache per worker, shared across every
+        # candidate this worker evaluates: the schedule prefix
+        # (match / fuse / copy_elim / ...) common to all candidates
+        # runs once, and with a disk root the whole pool shares it.
+        cache = PassResultCache()
+        if config.get("pass_cache_dir"):
+            cache.attach_disk(config["pass_cache_dir"])
+        state["pass_cache_obj"] = cache
+    else:
+        state["pass_cache_obj"] = None
     _WORKER_STATE = state
 
 
-def _measure_schedule(module, func_name, schedule, repeats, seed):
+def _measure_schedule(
+    module, func_name, schedule, repeats, seed, pass_cache=None
+):
     """Compile ``module`` under ``schedule`` and time steady-state
     execution (best of ``repeats``); returns (wall, checksum, result)."""
     from ..execution.engine.engine import ExecutionEngine
     from ..fuzzing.oracle import make_args, module_arg_shapes
 
     engine = ExecutionEngine(
-        module, cache=KernelCache(), schedule=schedule
+        module, cache=KernelCache(), schedule=schedule,
+        pass_cache=pass_cache,
     )
     # One untimed run first: it absorbs the lazy compile plus any
     # first-touch process costs (allocator, numpy dispatch) that would
@@ -164,6 +179,10 @@ def _evaluate_candidate(unit) -> Dict:
     from .interpreter import schedule_from_params
 
     schedule = schedule_from_params(params)
+    pass_cache = state.get("pass_cache_obj")
+    before = (
+        pass_cache.stats.snapshot() if pass_cache is not None else None
+    )
     start = time.perf_counter()
     wall, digest, engine = _measure_schedule(
         state["module"],
@@ -171,8 +190,9 @@ def _evaluate_candidate(unit) -> Dict:
         schedule,
         state["repeats"],
         state["seed"],
+        pass_cache=pass_cache,
     )
-    return {
+    row = {
         "index": index,
         "params": params,
         "wall_time_s": wall,
@@ -180,6 +200,14 @@ def _evaluate_candidate(unit) -> Dict:
         "compile_s": time.perf_counter() - start - wall,
         "schedule_stats": engine.schedule_stats,
     }
+    if before is not None:
+        after = pass_cache.stats.snapshot()
+        row["pass_cache"] = {
+            key: after[key] - before[key]
+            for key in after
+            if after[key] != before[key]
+        }
+    return row
 
 
 # ----------------------------------------------------------------------
@@ -196,6 +224,7 @@ def autotune_kernel(
     cache_dir: Optional[str] = None,
     pipeline: str = "mlt-linalg",
     heavy: bool = False,
+    pass_cache: bool = True,
 ) -> Dict:
     """Tune one paper-corpus kernel; returns a ``BENCH_autotune`` row.
 
@@ -203,6 +232,11 @@ def autotune_kernel(
     record for this payload, the search is skipped entirely
     (``evaluations == 0``, ``cached == True``) and the persisted
     schedule replays at default-compile latency.
+
+    ``pass_cache`` (default on) gives every search worker a
+    function-granular pass-result cache (persisted under ``cache_dir``
+    when set), so the schedule prefix shared by all candidates is
+    applied once per worker instead of once per candidate.
     """
     from ..evaluation import get_kernel
     from ..evaluation.pipelines import build_module
@@ -250,7 +284,10 @@ def autotune_kernel(
         "func_name": spec.func_name,
         "repeats": repeats,
         "seed": seed,
+        "pass_cache": pass_cache,
+        "pass_cache_dir": cache_dir if pass_cache else None,
     }
+    search_start = time.perf_counter()
     results = parallel_map(
         _evaluate_candidate,
         list(enumerate(points)),
@@ -258,6 +295,7 @@ def autotune_kernel(
         initializer=_init_worker,
         initargs=(config,),
     )
+    search_s = time.perf_counter() - search_start
     by_index = {row["index"]: row for row in results}
     default_row = by_index[0]
     # Correctness screen: a candidate whose output digest disagrees
@@ -288,6 +326,10 @@ def autotune_kernel(
         )
     tuned_wall = best_row["wall_time_s"]
     default_wall = default_row["wall_time_s"]
+    cache_totals: Dict[str, int] = {}
+    for row in results:
+        for key, value in (row.get("pass_cache") or {}).items():
+            cache_totals[key] = cache_totals.get(key, 0) + value
     return {
         "kernel": kernel,
         "cached": False,
@@ -299,6 +341,8 @@ def autotune_kernel(
         "speedup": default_wall / tuned_wall if tuned_wall > 0 else 1.0,
         "checksum": best_row["checksum"],
         "rejected_candidates": len(results) - len(valid),
+        "search_s": search_s,
+        "pass_cache": cache_totals,
     }
 
 
@@ -313,7 +357,9 @@ def autotune(
     repeats: int = 3,
     seed: int = 0,
     cache_dir: Optional[str] = None,
+    pipeline: str = "mlt-linalg",
     heavy: bool = False,
+    pass_cache: bool = True,
 ) -> Dict:
     """Tune a kernel list; returns the ``BENCH_autotune`` payload."""
     rows = [
@@ -324,7 +370,9 @@ def autotune(
             repeats=repeats,
             seed=seed,
             cache_dir=cache_dir,
+            pipeline=pipeline,
             heavy=heavy,
+            pass_cache=pass_cache,
         )
         for kernel in kernels
     ]
@@ -337,5 +385,6 @@ def autotune(
             "evaluations": sum(row["evaluations"] for row in rows),
             "cached": sum(1 for row in rows if row["cached"]),
             "best_speedup": max(row["speedup"] for row in rows),
+            "search_s": sum(row.get("search_s", 0.0) for row in rows),
         },
     }

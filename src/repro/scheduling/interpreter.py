@@ -44,6 +44,7 @@ from ..execution.engine.optimizer import (
     _function_is_optimizable,
     _tile_scalar_nests,
     _tiling_is_legal,
+    run_function_stage,
 )
 from ..ir import ModuleOp, Operation
 from ..transforms.canonicalize import canonicalize
@@ -136,16 +137,43 @@ def _tile_explicit(func: Operation, sizes: List[int], stats: OptStats) -> None:
         stats.nests_tiled += 1
 
 
-def apply_schedule(schedule, payload: ModuleOp) -> ScheduleResult:
+def apply_schedule(
+    schedule, payload: ModuleOp, pass_cache=None
+) -> ScheduleResult:
     """Apply ``schedule`` (a schedule module or sequence) to ``payload``
     in place and return the populated :class:`ScheduleResult`.
+
+    ``pass_cache`` memoizes each step's result per function, so
+    schedule search re-applying dozens of candidates to one payload
+    pays for the shared prefix (match / fuse / copy_elim / ...) exactly
+    once — only the schedule-dependent suffix executes per candidate.
+    ``tile`` steps always execute (they tag loops with the non-printed
+    ``_opt_no_vectorize`` annotation, which a text splice cannot
+    reproduce); ``raise`` steps are module-level and likewise bypass
+    the cache.
     """
     sequence = _schedule_sequence(schedule)
     result = ScheduleResult(stats=OptStats(mode="schedule"))
     stats = result.stats
 
     funcs: List[Operation] = []
+    fps: List[Optional[str]] = []
     matched = False
+    #: Caching stops at the first non-cacheable step: past it every
+    #: input fingerprint must be recomputed per candidate (the shared
+    #: prefix is gone), which costs more than running the suffix.
+    prefix_sound = True
+
+    def run_step(stage_name, config, fn, cacheable=True) -> None:
+        nonlocal prefix_sound
+        if not cacheable:
+            prefix_sound = False
+        cache = pass_cache if prefix_sound else None
+        for index, func in enumerate(funcs):
+            funcs[index], fps[index] = run_function_stage(
+                cache, func, stage_name, config, fn, stats,
+                fp=fps[index],
+            )
 
     for step in sequence.steps():
         if isinstance(step, MatchOp):
@@ -159,6 +187,7 @@ def apply_schedule(schedule, payload: ModuleOp) -> ScheduleResult:
                     funcs.append(func)
                 else:
                     stats.functions_skipped += 1
+            fps[:] = [None] * len(funcs)
             continue
         if not isinstance(step, TransformStepOp):
             raise ScheduleError(f"unknown schedule step {step.name}")
@@ -169,36 +198,55 @@ def apply_schedule(schedule, payload: ModuleOp) -> ScheduleResult:
             )
         before = stats._counter_values()
         if isinstance(step, FuseOp):
-            for func in funcs:
-                stats.loops_fused += greedy_fuse(
-                    func, require_flow=step.flow, bails=stats.fusion_bails
+
+            def _fuse(func, scratch, _flow=step.flow):
+                scratch.loops_fused += greedy_fuse(
+                    func, require_flow=_flow, bails=scratch.fusion_bails
                 )
+
+            run_step("transform.fuse", f"flow={step.flow}", _fuse)
         elif isinstance(step, CopyElimOp):
-            for func in funcs:
+
+            def _copy_elim(func, scratch):
                 elim = copy_eliminate(func)
-                stats.stores_forwarded += elim.stores_forwarded
-                stats.dead_stores_removed += elim.dead_stores_removed
-                stats.dead_allocs_removed += elim.dead_allocs_removed
+                scratch.stores_forwarded += elim.stores_forwarded
+                scratch.dead_stores_removed += elim.dead_stores_removed
+                scratch.dead_allocs_removed += elim.dead_allocs_removed
+
+            run_step("transform.copy_elim", "", _copy_elim)
         elif isinstance(step, DeadLoopsOp):
-            for func in funcs:
-                _eliminate_redundant_loops(func, stats)
+            run_step("transform.dead_loops", "", _eliminate_redundant_loops)
         elif isinstance(step, CanonicalizeOp):
-            for func in funcs:
-                stats.simplifications += canonicalize(func)
+
+            def _canonicalize(func, scratch):
+                scratch.simplifications += canonicalize(func)
+
+            run_step("transform.canonicalize", "", _canonicalize)
         elif isinstance(step, DistributeOp):
-            for func in funcs:
-                stats.loops_distributed += distribute_loops(func)
+
+            def _distribute(func, scratch):
+                scratch.loops_distributed += distribute_loops(func)
+
+            run_step("transform.distribute", "", _distribute)
         elif isinstance(step, TileOp):
-            for func in funcs:
-                if step.size is not None:
-                    _tile_scalar_nests(func, step.size, stats)
+
+            def _tile(func, scratch, _step=step):
+                if _step.size is not None:
+                    _tile_scalar_nests(func, _step.size, scratch)
                 else:
-                    _tile_explicit(func, step.sizes, stats)
+                    _tile_explicit(func, _step.sizes, scratch)
+
+            run_step("transform.tile", "", _tile, cacheable=False)
         elif isinstance(step, UnrollJamOp):
-            for func in funcs:
-                stats.loops_unroll_jammed += unroll_jam_loops(
-                    func, step.factor
+
+            def _unroll_jam(func, scratch, _factor=step.factor):
+                scratch.loops_unroll_jammed += unroll_jam_loops(
+                    func, _factor
                 )
+
+            run_step(
+                "transform.unroll_jam", f"factor={step.factor}", _unroll_jam
+            )
         elif isinstance(step, VectorizeOp):
             result.vectorize = step.mode
         elif isinstance(step, RaiseOp):
@@ -208,6 +256,10 @@ def apply_schedule(schedule, payload: ModuleOp) -> ScheduleResult:
                 payload, raise_mode=step.mode
             )
             result.raise_stats = dict(raising.callsites)
+            # Module-level rewrite: every memoized fingerprint is
+            # stale, and the shared cacheable prefix ends here.
+            fps[:] = [None] * len(funcs)
+            prefix_sound = False
         else:
             raise ScheduleError(f"unknown schedule step {step.name}")
         delta = {

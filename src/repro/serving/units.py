@@ -57,14 +57,21 @@ class TenantCaches:
 
     def __init__(self, root: Optional[str], tenant: str):
         from ..execution.engine.cache import KernelCache
+        from ..ir import PassResultCache
 
         self.tenant = tenant
         self.kernel_cache = KernelCache()
         self.module_cache = None
         self.schedule_cache = None
+        # Function-granular pass results: a cold compile of a unit that
+        # shares functions with an already-served one only runs passes
+        # on the genuinely new functions.  Tenant-namespaced like every
+        # other tier (cached results splice printed IR back in).
+        self.pass_cache = PassResultCache()
         if root:
             base = tenant_dir(root, tenant)
             self.kernel_cache.attach_disk(os.path.join(base, "kernels"))
+            self.pass_cache.attach_disk(base)
             from ..execution.engine.disk_cache import DiskKernelCache
             from ..scheduling.autotune import ScheduleCache
 
@@ -157,6 +164,7 @@ def serving_cache_snapshots() -> Dict[str, dict]:
             "module_cache": caches.module_cache.stats.snapshot()
             if caches.module_cache is not None
             else None,
+            "pass_cache": caches.pass_cache.snapshot(),
         }
     report["_hot_kernels"] = hot_total
     return report
@@ -312,7 +320,7 @@ def spec_module_key(spec: dict) -> str:
 # ----------------------------------------------------------------------
 
 
-def _build_module(spec: dict):
+def _build_module(spec: dict, pass_cache=None):
     if spec["mode"] == "corpus":
         from ..evaluation.pipelines import build_module
 
@@ -334,6 +342,7 @@ def _build_module(spec: dict):
     else:
         module = parse_module(text)
     pm = build_pipeline(spec["passes"])
+    pm.pass_cache = pass_cache
     pm.run(module)
     verify(module, pm.context)
     return module
@@ -391,7 +400,7 @@ def serve_unit(spec: dict) -> dict:
         from ..execution.engine.cache import fingerprint_module
         from ..ir import print_module
 
-        module = _build_module(spec)
+        module = _build_module(spec, pass_cache=caches.pass_cache)
         record = (
             caches.schedule_cache.load(fingerprint_module(module))
             if caches.schedule_cache is not None
@@ -401,14 +410,18 @@ def serve_unit(spec: dict) -> dict:
             from ..ir.parser import parse_module
             from ..scheduling import apply_schedule
 
-            apply_schedule(parse_module(record["schedule"]), module)
+            apply_schedule(
+                parse_module(record["schedule"]),
+                module,
+                pass_cache=caches.pass_cache,
+            )
             schedule_tag = hashlib.sha256(
                 record["schedule"].encode("utf-8")
             ).hexdigest()[:16]
         else:
             from ..execution.engine.optimizer import run_optimizer
 
-            run_optimizer(module, "full")
+            run_optimizer(module, "full", pass_cache=caches.pass_cache)
             schedule_tag = "default"
         text = print_module(module)
     else:
@@ -420,14 +433,16 @@ def serve_unit(spec: dict) -> dict:
         if text is None:
             from ..ir import print_module
 
-            module = _build_module(spec)
+            module = _build_module(spec, pass_cache=caches.pass_cache)
             # Optimize before printing so persisted module text — and
             # every kernel (cold or warm) derived from it — reflects
             # the mid-level optimizer's output.
             if opt_mode != "none":
                 from ..execution.engine.optimizer import run_optimizer
 
-                run_optimizer(module, opt_mode)
+                run_optimizer(
+                    module, opt_mode, pass_cache=caches.pass_cache
+                )
             text = print_module(module)
             if module_cache is not None:
                 module_cache.store_text(mkey, text)

@@ -181,11 +181,11 @@ class GenericRaisingPass(FunctionPass):
 
     def __init__(self):
         self.stats = RaisingStats()
-
-    def run(self, module, context) -> None:
-        self.stats = RaisingStats()
-        self._frozen = FrozenPatternSet([GenericContractionPattern(self.stats)])
-        super().run(module, context)
+        # One frozen set per pass object (the pattern closes over a
+        # stable stats instance, so counters accumulate across runs).
+        self._frozen = FrozenPatternSet(
+            [GenericContractionPattern(self.stats)]
+        )
 
     def run_on_function(self, func, context):
         result = apply_patterns_greedily(func, self._frozen)

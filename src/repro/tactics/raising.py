@@ -249,13 +249,22 @@ class RaiseAffineToAffinePass(FunctionPass):
 
     def __init__(self):
         self.stats = RaisingStats()
+        self._frozen = None
 
-    def run(self, module: ModuleOp, context: Context) -> None:
-        # Freeze the pattern set once per run, not once per function.
-        self._frozen = FrozenPatternSet(
-            [TacticRewritePattern(gemm_tactic(), target="affine", stats=self.stats)]
-        )
-        super().run(module, context)
+    def prepare(self, module: ModuleOp, context: Context) -> None:
+        # Freeze the pattern set once per pass *object*, not once per
+        # run (let alone per function): the index only depends on the
+        # pattern list, which is fixed at construction.  (The frozen
+        # set is driver-independent — both drivers consume the same
+        # benefit-ordered buckets.)
+        if self._frozen is None:
+            self._frozen = FrozenPatternSet(
+                [
+                    TacticRewritePattern(
+                        gemm_tactic(), target="affine", stats=self.stats
+                    )
+                ]
+            )
 
     def run_on_function(self, func, context: Context):
         result = apply_patterns_greedily(func, self._frozen)
@@ -289,8 +298,27 @@ class RaiseAffineToLinalgPass(FunctionPass):
         #: Per-pattern / per-bail-reason observability for both tiers
         #: (``mlt-opt --raise-stats``).
         self.raise_stats = RaiseStats()
+        self._frozen = None
+        self._frozen_built = False
 
-    def run(self, module: ModuleOp, context: Context) -> None:
+    def cache_config(self) -> str:
+        tactic_names = (
+            "default"
+            if self.tactics is None
+            else ",".join(getattr(t, "name", repr(t)) for t in self.tactics)
+        )
+        return (
+            f"mode={self.raise_mode};fills={self.raise_fills};"
+            f"generics={self.raise_generics};tactics={tactic_names};"
+            f"synth={self.synth_config!r}"
+        )
+
+    def prepare(self, module: ModuleOp, context: Context) -> None:
+        # The pattern set depends only on constructor configuration, so
+        # freeze (and bucket-index) it once per pass object instead of
+        # once per run.
+        if self._frozen_built:
+            return
         tactics = (
             self.tactics if self.tactics is not None else default_linalg_tactics()
         )
@@ -314,7 +342,7 @@ class RaiseAffineToLinalgPass(FunctionPass):
 
                 patterns.append(GenericContractionPattern(self.stats))
         self._frozen = FrozenPatternSet(patterns) if patterns else None
-        super().run(module, context)
+        self._frozen_built = True
 
     def run_on_function(self, func, context: Context):
         changed = False

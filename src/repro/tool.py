@@ -175,6 +175,28 @@ def main(argv: List[str] = None) -> int:
         "kernel cache (warms --cache-dir for later --execute runs)",
     )
     parser.add_argument(
+        "--pass-cache",
+        nargs="?",
+        const="",
+        metavar="DIR",
+        help="function-granular pass-result cache: skip passes whose "
+        "result for an unchanged function is already cached.  DIR is "
+        "the persistent root (defaults to --cache-dir when given "
+        "bare); batch mode enables this automatically under "
+        "--cache-dir",
+    )
+    parser.add_argument(
+        "--no-pass-cache",
+        action="store_true",
+        help="batch mode: disable the function-granular pass cache",
+    )
+    parser.add_argument(
+        "--pass-cache-stats",
+        action="store_true",
+        help="print pass-cache counters (hits/misses/spliced/"
+        "executions, memory + disk tiers) to stderr after the run",
+    )
+    parser.add_argument(
         "--source",
         choices=["auto", "c", "ir"],
         default="auto",
@@ -293,9 +315,11 @@ def main(argv: List[str] = None) -> int:
     from .ir import set_default_driver
 
     set_default_driver(args.driver)
+    pass_cache = _make_pass_cache(args, parser)
     pm = build_pipeline(
         pass_names, raise_mode=args.raise_mode, tile_sizes=tile_sizes
     )
+    pm.pass_cache = pass_cache
     timing = pm.run(module)
     if not args.no_verify:
         verify(module, pm.context)
@@ -333,6 +357,7 @@ def main(argv: List[str] = None) -> int:
                 opt_mode=args.opt_mode,
                 opt_stats=args.opt_stats,
                 tile_size=tile_sizes[0] if tile_sizes else None,
+                pass_cache=pass_cache,
             )
         except Exception as exc:
             sys.stderr.write(f"mlt-opt: --execute: {exc}\n")
@@ -344,7 +369,39 @@ def main(argv: List[str] = None) -> int:
         )
     if args.cache_stats:
         _print_cache_stats()
+    if args.pass_cache_stats:
+        _print_pass_cache_stats(pass_cache)
     return 0
+
+
+def _make_pass_cache(args, parser):
+    """Build the pass-result cache requested by --pass-cache, if any."""
+    if args.pass_cache is None:
+        return None
+    from .ir import PassResultCache
+
+    cache = PassResultCache()
+    root = args.pass_cache or args.cache_dir
+    if args.pass_cache == "" and not args.cache_dir:
+        parser.error("--pass-cache without DIR needs --cache-dir")
+    cache.attach_disk(root)
+    return cache
+
+
+def _print_pass_cache_stats(pass_cache) -> None:
+    import json
+
+    if pass_cache is None:
+        sys.stderr.write(
+            "mlt-opt: --pass-cache-stats: no pass cache active "
+            "(use --pass-cache [DIR])\n"
+        )
+        return
+    sys.stderr.write(
+        "mlt-opt: pass cache: "
+        + json.dumps(pass_cache.snapshot(), sort_keys=True)
+        + "\n"
+    )
 
 
 def _print_raise_stats(pm: PassManager) -> None:
@@ -405,6 +462,7 @@ def _batch_main(args, pass_names: List[str]) -> int:
         source_kind=args.source,
         verify=not args.no_verify,
         compile_kernels=args.compile or bool(args.cache_dir),
+        pass_cache=not args.no_pass_cache,
     )
     failed = 0
     for result in results:
@@ -443,6 +501,7 @@ def _execute_module(
     opt_mode: str = "none",
     opt_stats: bool = False,
     tile_size: int = None,
+    pass_cache=None,
 ) -> None:
     """Run one function on deterministic random inputs and report a
     checksum per output buffer (the two --engine backends must print
@@ -455,7 +514,11 @@ def _execute_module(
         from .execution import ExecutionEngine
 
         compiled = ExecutionEngine(
-            module, pipeline="mlt-opt", opt_mode=opt_mode, tile_size=tile_size
+            module,
+            pipeline="mlt-opt",
+            opt_mode=opt_mode,
+            tile_size=tile_size,
+            pass_cache=pass_cache,
         )
         compiled.run(func_name, *args)
         if engine_stats:
@@ -604,6 +667,12 @@ def fuzz_main(argv: List[str] = None) -> int:
         help="skip the random-schedule (transform-dialect interpreter) "
         "payload cross-check",
     )
+    parser.add_argument(
+        "--no-incremental-diff",
+        action="store_true",
+        help="skip the incremental-vs-scratch (pass-result cache) "
+        "per-pass IR diff",
+    )
     args = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
 
     pipelines = args.pipelines.split(",") if args.pipelines else None
@@ -619,6 +688,7 @@ def fuzz_main(argv: List[str] = None) -> int:
         check_synth=not args.no_synth_diff,
         check_opt=not args.no_opt_diff,
         check_schedule=not args.no_schedule_diff,
+        check_incremental=not args.no_incremental_diff,
     )
     try:
         campaign = FuzzCampaign(**campaign_config)
@@ -734,6 +804,19 @@ def tune_main(argv: List[str] = None) -> int:
         "small ones",
     )
     parser.add_argument(
+        "--no-pass-cache",
+        action="store_true",
+        help="disable the per-worker function-granular pass cache "
+        "(candidates re-apply the shared schedule prefix from scratch)",
+    )
+    parser.add_argument(
+        "--pipeline",
+        default="mlt-linalg",
+        help="payload pipeline the schedules are tuned against "
+        "(default: mlt-linalg; 'baseline' keeps the payload at the "
+        "affine level, where every schedule step is pass-cacheable)",
+    )
+    parser.add_argument(
         "--out",
         default="benchmarks/results/BENCH_autotune.json",
         help="JSON report path "
@@ -751,7 +834,9 @@ def tune_main(argv: List[str] = None) -> int:
         repeats=args.repeats,
         seed=args.seed,
         cache_dir=args.cache_dir,
+        pipeline=args.pipeline,
         heavy=args.heavy,
+        pass_cache=not args.no_pass_cache,
     )
     out_dir = os.path.dirname(args.out)
     if out_dir:

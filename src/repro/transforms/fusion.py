@@ -283,5 +283,8 @@ class LoopFusionPass(FunctionPass):
     def __init__(self, require_flow: bool = False):
         self.require_flow = require_flow
 
+    def cache_config(self) -> str:
+        return f"flow={self.require_flow}"
+
     def run_on_function(self, func, context):
         return greedy_fuse(func, require_flow=self.require_flow)

@@ -418,6 +418,9 @@ class LinalgToBlasPass(FunctionPass):
             ]
         )
 
+    def cache_config(self) -> str:
+        return f"library={self.library}"
+
     def run_on_function(self, func, context):
         result = apply_patterns_greedily(func, self._frozen)
         self.rewrite_results.append(result)

@@ -129,6 +129,11 @@ class TileLoopNestPass(FunctionPass):
     def __init__(self, tile_size=32):
         self.tile_size = tile_size
 
+    def cache_config(self) -> str:
+        if isinstance(self.tile_size, int):
+            return f"tile={self.tile_size}"
+        return "tile=" + ",".join(str(s) for s in self.tile_size)
+
     def _sizes_for(self, depth: int) -> List[int]:
         if isinstance(self.tile_size, int):
             return [self.tile_size] * depth

@@ -17,9 +17,9 @@ class TestCampaignCleanCodebase:
         stats = campaign.run(6)
         assert stats.ok, stats.summary()
         assert stats.seeds_run == 6
-        # 4 pipelines x (C kernel + affine module + 2 driver-diff
-        # checks) + tdl and synth expectation checks
-        assert stats.checks == 6 * 18
+        # 4 pipelines x (C kernel + affine module + 2 driver-diff + 2
+        # incremental-diff checks) + tdl and synth expectation checks
+        assert stats.checks == 6 * 26
         assert stats.stages_checked > stats.checks
         # No failures -> no failure artifacts; only the near-miss
         # corpus (persisted regardless of verdict) may exist.

@@ -1,0 +1,346 @@
+"""The function-granular pass-result cache ("compilation firewall").
+
+Covers the three tiers — per-pass memo, disk ``passes/`` namespace,
+pipeline-prefix restore — plus the invariants that make verify-skipping
+sound: byte-identical spliced IR, content-addressed invalidation, and
+the PatternRewriter version-bump guard that keeps ``fingerprint_module``
+(and therefore every cache key) honest even for passes that lie about
+their changes.
+"""
+
+import pytest
+
+from repro.ir import (
+    Context,
+    FunctionPass,
+    PassManager,
+    PassResultCache,
+    PatternRewriter,
+    cached_stage,
+    fingerprint_function,
+    print_module,
+    splice_function,
+)
+from repro.ir.parser import parse_module
+from repro.met import compile_c
+from repro.transforms import (
+    CanonicalizePass,
+    LoopDistributionPass,
+    LoopFusionPass,
+)
+
+from ..conftest import build_gemm_module
+
+TWO_FUNCS = """
+void scale(float A[8][8]) {
+  for (int i = 0; i < 8; i++)
+    for (int j = 0; j < 8; j++)
+      A[i][j] = A[i][j] * 2.0;
+}
+void accum(float B[8][8], float C[8][8]) {
+  for (int i = 0; i < 8; i++)
+    for (int j = 0; j < 8; j++)
+      C[i][j] = C[i][j] + B[i][j];
+}
+"""
+
+
+def _pipeline(cache=None):
+    pm = PassManager(Context(), verify_each=True, pass_cache=cache)
+    pm.add(LoopFusionPass(), CanonicalizePass(), LoopDistributionPass())
+    return pm
+
+
+class TestSpliceFunction:
+    def test_preserves_position_and_bytes(self):
+        module = compile_c(TWO_FUNCS)
+        reference = print_module(module)
+        scale = module.functions[0]
+        text = print_module(scale)
+        new_func = splice_function(module, scale, text)
+        assert module.functions[0] is new_func
+        assert [f.sym_name for f in module.functions] == ["scale", "accum"]
+        assert print_module(module) == reference
+
+    def test_bumps_module_version(self):
+        module = compile_c(TWO_FUNCS)
+        module.bump_version()
+        before = module.version
+        splice_function(
+            module, module.functions[0], print_module(module.functions[0])
+        )
+        assert module.version > before
+
+
+class TestPassResultCacheStore:
+    def test_memo_roundtrip_and_stats(self):
+        cache = PassResultCache()
+        key = cache.key("fp", "canonicalize")
+        assert cache.get(key) is None
+        cache.put(key, {"kind": "clean", "fp": "fp"})
+        assert cache.get(key) == {"kind": "clean", "fp": "fp"}
+        snap = cache.stats.snapshot()
+        assert snap["misses"] == 1 and snap["hits"] == 1
+        assert snap["stores"] == 1
+
+    def test_lru_bound(self):
+        cache = PassResultCache(max_entries=2)
+        keys = [cache.key(f"fp{i}", "p") for i in range(3)]
+        for k in keys:
+            cache.put(k, {"kind": "clean", "fp": "x"})
+        assert len(cache) == 2
+        assert cache.get(keys[0]) is None  # evicted, oldest
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            PassResultCache(max_entries=0)
+
+    def test_keys_distinguish_config_and_pass(self):
+        cache = PassResultCache()
+        base = cache.key("fp", "tile", "tile=16")
+        assert base != cache.key("fp", "tile", "tile=32")
+        assert base != cache.key("fp", "fuse", "tile=16")
+        assert base != cache.key("fp2", "tile", "tile=16")
+
+    def test_disk_tier_survives_new_process_memo(self, tmp_path):
+        cache = PassResultCache()
+        cache.attach_disk(str(tmp_path))
+        key = cache.key("fp", "p")
+        cache.put(key, {"kind": "clean", "fp": "fp"})
+        # Fresh memo, same disk root == a cold process.
+        cold = PassResultCache()
+        cold.attach_disk(str(tmp_path))
+        assert cold.get(key) == {"kind": "clean", "fp": "fp"}
+        assert cold.stats.snapshot()["disk_hits"] == 1
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = PassResultCache()
+        disk = cache.attach_disk(str(tmp_path))
+        key = cache.key("fp", "p")
+        disk.store_text(key, "{not json")
+        assert cache.get(key) is None
+
+
+class TestPassManagerCached:
+    def test_cold_warm_and_scratch_agree(self):
+        module = compile_c(TWO_FUNCS)
+        scratch = compile_c(TWO_FUNCS)
+        _pipeline().run(scratch)
+        reference = print_module(scratch)
+
+        cache = PassResultCache()
+        cold = compile_c(TWO_FUNCS)
+        _pipeline(cache).run(cold)
+        assert print_module(cold) == reference
+        cold_snap = cache.stats.snapshot()
+        assert cold_snap["executions"] == 6  # 2 funcs x 3 passes
+
+        warm = module
+        _pipeline(cache).run(warm)
+        assert print_module(warm) == reference
+        warm_snap = cache.stats.snapshot()
+        assert warm_snap["executions"] == cold_snap["executions"]
+        assert warm_snap["hits"] - cold_snap["hits"] == 6
+        assert warm_snap["skipped_verifies"] == 6
+
+    def test_timing_reports_cache_counters(self):
+        cache = PassResultCache()
+        _pipeline(cache).run(compile_c(TWO_FUNCS))
+        timing = _pipeline(cache).run(compile_c(TWO_FUNCS))
+        assert timing.pass_cache  # per-pass deltas recorded
+        assert "cache hits=" in timing.report()
+
+    def test_changed_function_only_reruns_itself(self):
+        cache = PassResultCache()
+        _pipeline(cache).run(compile_c(TWO_FUNCS))
+        before = cache.stats.snapshot()
+        edited = compile_c(TWO_FUNCS.replace("* 2.0", "* 3.0"))
+        _pipeline(cache).run(edited)
+        after = cache.stats.snapshot()
+        # Only @scale changed: @accum replays from cache at all 3
+        # passes while @scale re-executes all 3.
+        assert after["executions"] - before["executions"] == 3
+        assert after["hits"] - before["hits"] == 3
+
+    def test_disk_prefix_restore_skips_all_passes(self, tmp_path):
+        cache = PassResultCache()
+        cache.attach_disk(str(tmp_path))
+        scratch = compile_c(TWO_FUNCS)
+        _pipeline(cache).run(scratch)
+        reference = print_module(scratch)
+
+        cold = PassResultCache()  # fresh memo == new process
+        cold.attach_disk(str(tmp_path))
+        module = compile_c(TWO_FUNCS)
+        _pipeline(cold).run(module)
+        assert print_module(module) == reference
+        snap = cold.stats.snapshot()
+        assert snap["prefix_restores"] == 2  # both functions fast-forward
+        assert snap["executions"] == 0
+
+    def test_config_change_invalidates(self):
+        from repro.transforms import TileLoopNestPass
+
+        def tiling(size, cache):
+            pm = PassManager(Context(), pass_cache=cache)
+            pm.add(TileLoopNestPass(size))
+            return pm
+
+        cache = PassResultCache()
+        m16 = build_gemm_module(8, 8, 8)
+        tiling(4, cache).run(m16)
+        m32 = build_gemm_module(8, 8, 8)
+        tiling(2, cache).run(m32)
+        assert print_module(m16) != print_module(m32)
+        assert cache.stats.snapshot()["hits"] == 0
+
+
+class _LyingDoublerPass(FunctionPass):
+    """Rewrites every AddF to a MulF via PatternRewriter, then reports
+    ``False`` ("nothing changed") — the worst-case lying client."""
+
+    name = "lying-doubler"
+
+    def run_on_function(self, func, context):
+        from repro.dialects import std
+
+        rewriter = PatternRewriter()
+        for op in list(func.walk()):
+            if isinstance(op, std.AddFOp):
+                mul = std.MulFOp.create(*[v for v in op.operands])
+                rewriter.replace_op_with_new(op, mul)
+        return False  # lie
+
+
+class TestStaleFingerprintRegressions:
+    """PatternRewriter mutations must invalidate fingerprints even when
+    the pass never calls ``bump_version()`` itself (satellite: stale
+    ``fingerprint_module`` digests must never be re-served)."""
+
+    def test_rewriter_mutation_bumps_module_version(self):
+        module = build_gemm_module()
+        module.bump_version()
+        before = module.version
+        _LyingDoublerPass().run(module, Context())
+        assert module.version > before
+
+    def test_fingerprint_module_not_stale_after_mutation(self):
+        from repro.execution.engine.cache import fingerprint_module
+
+        module = build_gemm_module()
+        first = fingerprint_module(module)  # primes the version memo
+        _LyingDoublerPass().run(module, Context())
+        assert fingerprint_module(module) != first
+
+    def test_engine_cache_not_stale_after_mutation(self):
+        """Engine-cache level: mutate IR through a rewriter (no manual
+        bump), recompile, and require a fresh kernel, not the old one."""
+        import numpy as np
+
+        from repro.execution import ExecutionEngine
+        from repro.execution.engine.cache import KernelCache
+
+        module = build_gemm_module(4, 4, 4)
+        cache = KernelCache()
+        engine = ExecutionEngine(module, cache=cache)
+        rng = np.random.default_rng(0)
+        args = [
+            rng.random((4, 4), dtype=np.float32) for _ in range(3)
+        ]
+        ref = [a.copy() for a in args]
+        engine.run("gemm", *ref)
+
+        _LyingDoublerPass().run(module, Context())
+        mutated = ExecutionEngine(module, cache=cache)
+        out = [a.copy() for a in args]
+        mutated.run("gemm", *out)
+        # a*b (mul) instead of a*b+c (add): outputs must differ, which
+        # they can't if the stale kernel was re-served.
+        assert not np.allclose(ref[2], out[2])
+        assert cache.stats.snapshot()["misses"] == 2
+
+    def test_pass_cache_not_stale_after_mutation(self):
+        """Pass-cache level: after an in-place rewriter mutation the
+        function fingerprint (and so the cache key) must change."""
+        module = build_gemm_module()
+        func = module.functions[0]
+        first = fingerprint_function(func)
+        _LyingDoublerPass().run(module, Context())
+        assert fingerprint_function(func) != first
+
+    def test_lying_pass_result_still_cached_correctly(self):
+        """The cached path upgrades a falsy change report via the
+        module-version guard: the rewrite is stored and replayed."""
+        cache = PassResultCache()
+        cold = build_gemm_module()
+        pm = PassManager(Context(), pass_cache=cache)
+        pm.add(_LyingDoublerPass())
+        pm.run(cold)
+        warm = build_gemm_module()
+        pm2 = PassManager(Context(), pass_cache=cache)
+        pm2.add(_LyingDoublerPass())
+        pm2.run(warm)
+        assert print_module(warm) == print_module(cold)
+        snap = cache.stats.snapshot()
+        assert snap["spliced"] == 1  # replayed as a rewrite, not clean
+        assert snap["executions"] == 1
+
+
+class TestCachedStage:
+    def _func(self):
+        module = compile_c(TWO_FUNCS)
+        return module, module.functions[0]
+
+    def test_none_cache_passthrough(self):
+        _, func = self._func()
+        ran = []
+        out, meta, fp = cached_stage(
+            None, func, "s", "", lambda f: ran.append(f) or {"n": 1}
+        )
+        assert out is func and meta == {"n": 1} and ran
+        assert fp is None  # bypassed: post-stage fingerprint unknown
+
+    def test_clean_hit_replays_meta_without_running(self):
+        cache = PassResultCache()
+        module, func = self._func()
+        cached_stage(cache, func, "s", "", lambda f: {"n": 3})
+        ran = []
+        out, meta, fp = cached_stage(
+            cache, func, "s", "", lambda f: ran.append(f)
+        )
+        assert not ran and meta == {"n": 3}
+        assert out is func  # clean result: no splice
+        assert fp == fingerprint_function(func)
+
+    def test_threaded_fingerprint_skips_reprinting(self):
+        cache = PassResultCache()
+        module, func = self._func()
+        _, _, fp = cached_stage(cache, func, "s", "", lambda f: None)
+        # With the fingerprint threaded the hit path never prints.
+        out, meta, fp2 = cached_stage(
+            cache, func, "s", "", lambda f: None, fp=fp
+        )
+        assert fp2 == fp
+        assert cache.stats.snapshot()["hits"] == 1
+
+    def test_rewrite_hit_splices_byte_identical(self):
+        def mutate(func):
+            from repro.transforms.fusion import greedy_fuse
+
+            greedy_fuse(func)
+            return {"fused": 1}
+
+        cache = PassResultCache()
+        module, func = self._func()
+        cached_stage(cache, func, "fuse", "", mutate)
+        reference = print_module(module)
+
+        module2, func2 = self._func()
+        ran = []
+        out, meta, _ = cached_stage(
+            cache, func2, "fuse", "", lambda f: ran.append(f)
+        )
+        if cache.stats.snapshot()["spliced"]:
+            assert out is not func2
+        assert not ran
+        assert print_module(module2) == reference

@@ -229,6 +229,34 @@ class TestCoalescing:
         assert stats["counters"]["coalesced"] == 0
 
 
+class TestPassCacheStats:
+    def test_stats_report_pass_cache_counters_per_tenant(self, tmp_path):
+        async def scenario():
+            server = await start_server(tmp_path)
+            client = await connect(server)
+            for tenant in ("alpha", "beta"):
+                resp = await client.execute(
+                    kernel="gemm",
+                    pipeline="baseline",
+                    tenant=tenant,
+                    seed=0,
+                )
+                assert resp["ok"], resp
+            stats = server.stats()
+            await client.close()
+            await server.shutdown()
+            return stats
+
+        stats = run(scenario())
+        # Each tenant's cold compile goes through its own
+        # function-granular pass cache; the counters must surface in
+        # the stats report, independently per tenant.
+        for tenant in ("alpha", "beta"):
+            snap = stats["tenants"][tenant]["pass_cache"]["memory"]
+            assert snap["executions"] > 0, snap
+            assert snap["stores"] > 0, snap
+
+
 class TestBackpressure:
     def test_overloaded_requests_are_shed(self, tmp_path):
         kernels = ("gemm", "atax", "bicg", "mvt", "gesummv", "2mm")
